@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one table/figure of the paper exactly once
+(``benchmark.pedantic`` with a single round — these are experiment
+harnesses, not microbenchmarks), prints the reproduced rows/series, and
+archives them under ``benchmarks/out/`` so EXPERIMENTS.md can reference a
+stable artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def run_figure(benchmark, fn, name: str, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark, print and archive output."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    text = result.format()
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+    return result

@@ -1,0 +1,72 @@
+"""Ablations beyond the paper's figures (DESIGN.md Sec. 6).
+
+* Strip-size sweep: the paper argues the partition size dictates the
+  maximum profitable strip (too large -> data overflows its partition and
+  conflicts return).
+* Shift-only vs shift-and-peel: peeling's contribution isolated by
+  simulating the fused loop as if blocks had to execute serially when
+  cross-processor dependences remain (what shifting alone would give).
+* Layout ablation: partitioned vs contiguous for the fused kernel.
+"""
+
+from pathlib import Path
+
+from repro.experiments import setup_kernel
+from repro.machine import convex_spp1000, measure_fused, measure_unfused
+
+OUT = Path(__file__).parent / "out"
+
+
+def test_strip_size_sweep(benchmark):
+    def run():
+        exp = setup_kernel("ll18", convex_spp1000(), dims_div=4)
+        rows = []
+        for strip in (2, 4, 8, exp.strip, 2 * exp.strip, 8 * exp.strip):
+            m = measure_fused(exp.exec_plan(1), exp.layout, exp.machine, strip=strip)
+            rows.append((strip, m.misses, m.time_cycles))
+        return exp.strip, rows
+
+    chosen, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    OUT.mkdir(exist_ok=True)
+    lines = [f"chosen strip (from partition size): {chosen}"]
+    lines += [f"strip={s:4d} misses={m:8d} cycles={c:12.0f}" for s, m, c in rows]
+    (OUT / "ablation_strip.txt").write_text("\n".join(lines) + "\n")
+    print("\n" + "\n".join(lines))
+    by_strip = {s: m for s, m, _ in rows}
+    # Oversized strips overflow the partitions: misses should not improve.
+    assert by_strip[8 * chosen] >= by_strip[chosen]
+
+
+def test_layout_ablation(benchmark):
+    def run():
+        out = {}
+        for kind in ("partitioned", "contiguous"):
+            exp = setup_kernel(
+                "ll18", convex_spp1000(), dims_div=4, layout_kind=kind,
+                params={"n": 127},
+            )
+            m = measure_fused(exp.exec_plan(1), exp.layout, exp.machine, strip=exp.strip)
+            out[kind] = m.misses
+        return out
+
+    misses = benchmark.pedantic(run, rounds=1, iterations=1)
+    OUT.mkdir(exist_ok=True)
+    text = "\n".join(f"{k}: {v} misses" for k, v in misses.items())
+    (OUT / "ablation_layout.txt").write_text(text + "\n")
+    print("\n" + text)
+    # Power-of-two contiguous layout is catastrophic for the fused loop.
+    assert misses["contiguous"] > 5 * misses["partitioned"]
+
+
+def test_barrier_savings(benchmark):
+    """Fusion eliminates inter-nest synchronization: 10 barriers -> 2 for
+    the filter sequence (one fused loop + the peel barrier)."""
+
+    def run():
+        exp = setup_kernel("filter", convex_spp1000(), dims_div=4)
+        unf = measure_unfused(exp.seq, exp.params, exp.layout, exp.machine, 8)
+        fus = measure_fused(exp.exec_plan(8), exp.layout, exp.machine, strip=exp.strip)
+        return unf.barriers, fus.barriers
+
+    barriers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert barriers == (10, 2)

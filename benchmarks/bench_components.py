@@ -1,0 +1,68 @@
+"""Component microbenchmarks: the library's own hot paths.
+
+These are real pytest-benchmark measurements (multiple rounds) of the
+compiler-side algorithms — useful for tracking regressions in the
+infrastructure itself, independent of the paper's figures.
+"""
+
+import numpy as np
+
+from repro.cachesim import CacheConfig, simulate
+from repro.core import build_execution_plan, derive_shift_peel
+from repro.dependence import analyze_sequence
+from repro.kernels import get_kernel
+from repro.machine import contiguous_layout, nest_block_trace
+
+
+def _filter_seq():
+    info = get_kernel("filter")
+    prog = info.program()
+    return prog, prog.sequences[0]
+
+
+def test_dependence_analysis_filter(benchmark):
+    prog, seq = _filter_seq()
+    summary = benchmark(analyze_sequence, seq, prog.params, 1)
+    assert summary.edge_count() > 20
+
+
+def test_shift_peel_derivation_filter(benchmark):
+    prog, seq = _filter_seq()
+    plan = benchmark(derive_shift_peel, seq, prog.params, 1)
+    assert plan.max_shift == 5
+
+
+def test_execution_planning(benchmark):
+    prog, seq = _filter_seq()
+    plan = derive_shift_peel(seq, prog.params, 1)
+    params = {"m": 402, "n": 162}
+    ep = benchmark(build_execution_plan, plan, params, 16)
+    assert ep.num_procs == 16
+
+
+def test_trace_generation_throughput(benchmark):
+    info = get_kernel("ll18")
+    prog = info.program()
+    params = {"n": 258}
+    layout = contiguous_layout(
+        [(d.name, d.concrete_shape(params)) for d in prog.arrays]
+    )
+    nest = prog.sequences[0][1]
+    trace = benchmark(nest_block_trace, nest, params, layout)
+    assert trace.size > 1_000_000
+
+
+def test_direct_mapped_sim_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 22, 1_000_000).astype(np.int64)
+    cfg = CacheConfig(64 * 1024, 64, 1)
+    stats = benchmark(simulate, addrs, cfg)
+    assert stats.accesses == 1_000_000
+
+
+def test_two_way_sim_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, 1 << 22, 1_000_000).astype(np.int64)
+    cfg = CacheConfig(64 * 1024, 128, 2)
+    stats = benchmark(simulate, addrs, cfg)
+    assert stats.accesses == 1_000_000

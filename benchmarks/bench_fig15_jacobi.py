@@ -1,0 +1,13 @@
+"""Figs. 15/16: multidimensional shift-and-peel on the Jacobi pair."""
+
+from _common import run_figure
+
+from repro.experiments import fig15_16
+
+
+def test_fig15_16(benchmark):
+    result = run_figure(benchmark, fig15_16, "fig15_16")
+    assert result.shifts == ((0, 0), (1, 1))
+    assert result.peels == ((0, 0), (1, 1))
+    grid, mu, mf = result.grid_results[0]
+    assert mu > 1.7 * mf

@@ -1,0 +1,13 @@
+"""Fig. 18: cache misses for fused LL18 under padding vs cache partitioning."""
+
+from _common import run_figure
+
+from repro.experiments import fig18
+
+
+def test_fig18(benchmark):
+    result = run_figure(benchmark, fig18, "fig18")
+    # Paper claims: erratic padding behaviour; partitioning directly
+    # minimizes misses (at or below the whole padding sweep).
+    assert result.erratic_ratio > 2
+    assert result.partitioning_at_or_below_min()

@@ -1,0 +1,15 @@
+"""Fig. 20: padding sweep vs cache partitioning on KSR2 and Convex,
+fused and unfused LL18."""
+
+from _common import run_figure
+
+from repro.experiments import fig20
+
+
+def test_fig20(benchmark):
+    result = run_figure(benchmark, fig20, "fig20")
+    for series in (result.ksr2, result.convex):
+        assert series.partitioning_at_or_below_min()
+        # The benefit of fusion can be lost when padding fails: some padding
+        # points put fused misses at (or above) unfused-partitioned levels.
+        assert series.padding_max > series.misses_fused_partitioning

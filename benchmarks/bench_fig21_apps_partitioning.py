@@ -1,0 +1,14 @@
+"""Fig. 21: application speedups with/without cache partitioning (Convex)."""
+
+from _common import run_figure
+
+from repro.experiments import fig21
+
+
+def test_fig21(benchmark):
+    result = run_figure(benchmark, fig21, "fig21")
+    for series in result.series:
+        # Conflict avoidance is necessary for the best performance: the
+        # fused-without-partitioning curve trails the partitioned original
+        # at scale.
+        assert series.fused_contiguous[-1] < series.orig_partitioned[-1]

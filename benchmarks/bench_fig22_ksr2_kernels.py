@@ -1,0 +1,13 @@
+"""Fig. 22: LL18/calc speedup and misses on the KSR2, up to 56 procs."""
+
+from _common import run_figure
+
+from repro.experiments import fig22
+
+
+def test_fig22(benchmark):
+    result = run_figure(benchmark, fig22, "fig22")
+    curves = {c.kernel: c for c in result}
+    assert curves["ll18"].points[0].improvement > 1.05
+    assert curves["ll18"].crossover() is not None
+    assert curves["calc"].crossover() <= curves["ll18"].crossover()

@@ -1,0 +1,16 @@
+"""Fig. 23: LL18/calc/filter speedup and misses on the Convex, up to 16."""
+
+from _common import run_figure
+
+from repro.experiments import fig23
+
+
+def test_fig23(benchmark):
+    result = run_figure(benchmark, fig23, "fig23")
+    curves = {c.kernel: c for c in result}
+    # Paper: >=30% for LL18 and calc, ~60% for filter at low counts; larger
+    # than the KSR2 numbers because misses cost more relative to compute.
+    assert curves["ll18"].max_improvement() > 1.2
+    assert curves["calc"].max_improvement() > 1.3
+    assert curves["filter"].max_improvement() > 1.3
+    assert all(p.improvement > 1.0 for p in curves["ll18"].points)

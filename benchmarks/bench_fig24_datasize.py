@@ -1,0 +1,16 @@
+"""Fig. 24: improvement from fusion vs array size at 8 and 16 processors."""
+
+from _common import run_figure
+
+from repro.experiments import fig24
+
+
+def test_fig24(benchmark):
+    result = run_figure(benchmark, fig24, "fig24")
+    for kernel in ("ll18", "calc"):
+        assert result.improvement(kernel, 256, 8) > result.improvement(kernel, 64, 8)
+    # LL18 (9 arrays) keeps benefiting at sizes/counts where calc (6 arrays)
+    # no longer does.
+    ll18_16 = result.improvement("ll18", 256, 16)
+    calc_16 = result.improvement("calc", 256, 16)
+    assert ll18_16 > calc_16

@@ -1,0 +1,14 @@
+"""Fig. 25: application speedups on the Convex (fused vs unfused)."""
+
+from _common import run_figure
+
+from repro.experiments import fig25
+
+
+def test_fig25(benchmark):
+    result = run_figure(benchmark, fig25, "fig25")
+    series = {s.app: s for s in result.series}
+    assert all(p.improvement > 1.05 for p in series["tomcatv"].points)
+    assert series["hydro2d"].improvement_at(1) > 1.08
+    assert series["spem"].improvement_at(1) > 1.05
+    assert series["spem"].dips_at(12) or series["spem"].dips_at(16)

@@ -1,0 +1,14 @@
+"""Fig. 26: shift-and-peel peeling vs alignment/replication for LL18."""
+
+from _common import run_figure
+
+from repro.experiments import fig26
+
+
+def test_fig26(benchmark):
+    result = run_figure(benchmark, fig26, "fig26")
+    for series in result.series:
+        assert series.peeling_wins_everywhere()
+        # Paper Sec. 5: two arrays and two statements must be replicated.
+        assert len(series.replicated_arrays) == 2
+        assert series.replicated_statements == 2

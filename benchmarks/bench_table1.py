@@ -1,0 +1,10 @@
+"""Table 1: kernel/application inventory (derived, checked against paper)."""
+
+from _common import run_figure
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_figure(benchmark, table1, "table1")
+    assert all(row.matches_paper for row in result.rows)

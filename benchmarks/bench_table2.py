@@ -1,0 +1,10 @@
+"""Table 2: derived per-loop shift and peel amounts for the three kernels."""
+
+from _common import run_figure
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    result = run_figure(benchmark, table2, "table2")
+    assert result.all_match()

@@ -1,0 +1,44 @@
+"""Data-layout decisions: compatibility, partitioning, strips, overheads.
+
+Walks the compiler's cache-partitioning decision (paper Sec. 4) for LL18:
+check that all references are compatible (same access matrices), lay the
+nine arrays into distinct cache partitions with the greedy algorithm,
+derive the strip size, and compare the memory overhead against padding.
+Then shows the miss *classification* proving partitioning removes exactly
+the conflict misses.
+
+Run:  python examples/layout_advisor.py
+"""
+
+from repro.cachesim import classify_misses
+from repro.experiments import setup_kernel
+from repro.kernels import ll18
+from repro.machine import convex_spp1000, unfused_proc_trace
+from repro.partition import plan_layout
+
+
+def main() -> None:
+    program = ll18.program()
+    machine = convex_spp1000().scaled(4)
+    params = {"n": 127}  # power-of-two extents: the conflict worst case
+
+    plan = plan_layout(program, program.sequences[0], params, machine.cache)
+    print("layout advisor decision for LL18 "
+          f"({machine.cache.capacity_bytes // 1024} KB direct-mapped cache):")
+    print(plan.describe())
+
+    # Miss classification: contiguous vs partitioned, unfused sweep.
+    print("\nmiss classification (3-C) of one full sweep:")
+    for kind in ("contiguous", "partitioned"):
+        exp = setup_kernel(
+            "ll18", convex_spp1000(), 4, layout_kind=kind, params=params
+        )
+        trace = unfused_proc_trace(exp.seq, exp.params, exp.layout)
+        breakdown = classify_misses(trace, exp.machine.cache)
+        print(f"  {kind:12s}: {breakdown}")
+    print("\nPartitioning eliminates the conflict bucket and leaves the "
+          "cold/capacity\nmisses — which no layout can remove — untouched.")
+
+
+if __name__ == "__main__":
+    main()

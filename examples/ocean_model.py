@@ -1,0 +1,55 @@
+"""Domain example: the qgbox ocean-model kernel (calc) on a simulated
+Convex SPP-1000.
+
+Reproduces the workflow of the paper's Sec. 5 evaluation for one kernel:
+derive the transformation, lay arrays out with cache partitioning, sweep
+processor counts on the machine model, and compare against the
+profitability predictor's advice.
+
+Run:  python examples/ocean_model.py
+"""
+
+from repro.core import evaluate_profitability
+from repro.experiments import setup_kernel
+from repro.machine import convex_spp1000
+
+
+def main() -> None:
+    machine = convex_spp1000()
+    exp = setup_kernel("calc", machine, dims_div=3, params={"n": 460})
+
+    print(f"kernel: {exp.info.description}")
+    print(f"machine: {exp.machine.name} "
+          f"(cache {exp.machine.cache.capacity_bytes // 1024} KB, "
+          f"{exp.machine.cache.associativity}-way)")
+    print(f"array size: {exp.params['n'] - 1}^2 doubles x "
+          f"{len(exp.program.arrays)} arrays")
+    print(f"strip size from partition: {exp.strip}")
+    print(f"derived shifts: {[exp.fusion.plan.shift(k, 0) for k in range(5)]}")
+    print(f"derived peels:  {[exp.fusion.plan.peel(k, 0) for k in range(5)]}")
+    print(f"legal processor ceiling (Theorem 1): {exp.max_procs()}")
+
+    print("\nspeedup sweep (relative to unfused on 1 processor):")
+    print(f"{'P':>3}  {'unfused':>8}  {'fused':>8}  {'improvement':>11}  advice")
+    for point in exp.curves([1, 2, 4, 8, 12, 16]):
+        advice = evaluate_profitability(
+            exp.program,
+            exp.fusion.plan,
+            exp.params,
+            point.num_procs,
+            exp.machine.cache.capacity_bytes,
+        )
+        verdict = "fuse" if advice.profitable else "keep original"
+        print(
+            f"{point.num_procs:3d}  {point.speedup_unfused:8.2f}  "
+            f"{point.speedup_fused:8.2f}  "
+            f"{100 * (point.improvement - 1):+10.1f}%  {verdict}"
+        )
+
+    print("\nThe improvement shrinks as each processor's share of the data "
+          "approaches its cache\n(the paper's central profitability "
+          "observation, Figs. 22-24).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Source-to-source compiler usage: transform loop programs as text.
+
+Shows the three code-generation styles (direct, strip-mined, SPMD), the
+cache-partitioned memory layout the compiler would emit for the arrays,
+and the comparison against the alignment/replication baseline of prior
+work (Callahan; Appelbe & Smith) — including what it must replicate.
+
+Run:  python examples/source_to_source.py
+"""
+
+from repro.baselines import derive_alignment
+from repro.cachesim import CacheConfig
+from repro.ir import format_sequence, side_by_side
+from repro.lang import parse_program, transform_source
+from repro.partition import partitioned_layout_from_decls
+
+SOURCE = """
+param n
+real a(n), b(n), c(n), d(n), e(n)
+doall i = 4, n-4
+    b[i] = a[i-1] + a[i+1]
+end do
+doall i = 4, n-4
+    c[i] = b[i+2] - b[i-2]
+end do
+doall i = 4, n-4
+    d[i] = c[i+1] + e[i]
+end do
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE, name="smooth")
+    print("original program:")
+    original = format_sequence(program.sequences[0])
+    print(original)
+
+    print("\n--- strip-mined shift-and-peel (Fig. 12 style) ---")
+    print(transform_source(SOURCE, style="stripmined"))
+
+    print("\n--- direct method (Fig. 11(a) style) ---")
+    print(transform_source(SOURCE, style="direct"))
+
+    # The memory layout a compiler would emit alongside the fused loop.
+    cache = CacheConfig(capacity_bytes=64 * 1024, line_bytes=64)
+    layout = partitioned_layout_from_decls(program.arrays, {"n": 1024}, cache)
+    print("\ncache-partitioned layout (gaps between arrays, Fig. 19):")
+    print(f"  partition size: {layout.partition_bytes} bytes")
+    for rec in layout.assignments:
+        pl = layout.layout[rec.array]
+        print(f"  {rec.array}: start={pl.start:8d}  partition {rec.partition}"
+              f"  gap inserted {rec.gap_bytes:6d} B")
+    print(f"  total gap overhead: {layout.gap_overhead_bytes} bytes")
+
+    # What would prior art have to do?
+    alignment = derive_alignment(program)
+    print("\nalignment/replication baseline would need:")
+    print(f"  alignment offsets: {alignment.offsets}")
+    print(f"  replicated arrays: {alignment.replicated_arrays or 'none'}")
+    print(f"  replicated statements: {alignment.replicated_statements}")
+    print("shift-and-peel needs no replication at all (Sec. 3.5).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""repro: reproduction of Manjikian & Abdelrahman, *Fusion of Loops for
+Parallelism and Locality* (ICPP 1995).
+
+The package provides:
+
+* a loop-nest IR and Fortran-like DSL front end (:mod:`repro.ir`,
+  :mod:`repro.lang`),
+* exact uniform dependence analysis (:mod:`repro.dependence`),
+* the shift-and-peel fusion transformation (:mod:`repro.core`),
+* cache partitioning and padding layouts (:mod:`repro.partition`),
+* trace-driven cache simulation and SSMM machine models
+  (:mod:`repro.cachesim`, :mod:`repro.machine`),
+* baselines including alignment-with-replication (:mod:`repro.baselines`),
+* the paper's kernels and applications (:mod:`repro.kernels`), and
+* the experiment harness regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import fuse_sequence
+    from repro.kernels import ll18
+    prog = ll18.program()
+    result = fuse_sequence(prog.sequences[0], prog.params)
+    print(result.plan.describe())
+"""
+
+from .core import (
+    FusionResult,
+    ShiftPeelPlan,
+    build_execution_plan,
+    derive_shift_peel,
+    fuse_program,
+    fuse_sequence,
+)
+from .ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Loop,
+    LoopNest,
+    LoopSequence,
+    Program,
+    assign,
+    load,
+    single_sequence_program,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Affine",
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "FusionResult",
+    "Loop",
+    "LoopNest",
+    "LoopSequence",
+    "Program",
+    "ShiftPeelPlan",
+    "__version__",
+    "assign",
+    "build_execution_plan",
+    "derive_shift_peel",
+    "fuse_program",
+    "fuse_sequence",
+    "load",
+    "single_sequence_program",
+]

@@ -1,0 +1,12 @@
+"""Baselines: unfused execution, naive fusion, alignment with replication."""
+
+from .alignment import AlignmentError, AlignmentResult, derive_alignment
+from .naive import FusionPartition, naive_fusion_partition
+
+__all__ = [
+    "AlignmentError",
+    "AlignmentResult",
+    "FusionPartition",
+    "derive_alignment",
+    "naive_fusion_partition",
+]

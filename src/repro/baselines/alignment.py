@@ -1,0 +1,323 @@
+"""Alignment with replication: the prior-art baseline of paper Fig. 26.
+
+Callahan [8] and Appelbe & Smith [2] make a fused loop synchronization-free
+by *aligning* iteration spaces so every inter-loop dependence becomes
+loop-independent.  When alignment requirements conflict (Fig. 14), they
+*replicate*:
+
+* a violated **flow** dependence is resolved by replicating computation —
+  the consumer inlines the producer statement's right-hand side (shifted to
+  the iteration it needs), paying extra work every iteration;
+* a violated **anti** dependence is resolved by replicating data — the
+  overwritten array is snapshot into a shadow copy by a prologue loop, and
+  the endangered read retargets the snapshot, paying extra memory and an
+  extra array sweep.
+
+The module derives the alignment, applies both replication mechanisms
+(iterating, since inlined computation introduces new reads), and packages
+the result so the correctness executor and the machine simulator can run
+it.  Shift-and-peel needs none of this — that contrast is Fig. 26.
+
+Known boundary caveat: inlined computation recomputes the producer formula
+even at iterations whose read would have returned a stale boundary value
+in the original program (a production compiler emits guards for these
+edge iterations).  Data replication is exact everywhere; computation
+replication is exact on the interior, which is what the correctness tests
+assert and all the performance measurements use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..core.derive import DimensionPlan, ShiftPeelPlan
+from ..core.execplan import ExecutionPlan, build_execution_plan
+from ..dependence.analysis import analyze_sequence
+from ..dependence.model import DepKind
+from ..ir.access import ArrayRef
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.sequence import ArrayDecl, LoopSequence, Program
+from ..ir.stmt import Assign, BinOp, Expr, Load, UnaryOp
+from ..ir.validate import canonical_fused_vars
+
+
+class AlignmentError(ValueError):
+    """Raised when alignment + replication cannot resolve the conflicts."""
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """The aligned, replication-resolved program."""
+
+    program: Program  # original program (for array decls)
+    seq: LoopSequence  # transformed nests (aligned bodies, retargeted reads)
+    offsets: tuple[int, ...]  # per-nest alignment offsets (lags)
+    replicated_arrays: tuple[str, ...]  # data replication (shadow copies)
+    replicated_statements: int  # computation replication count
+    copy_nests: tuple[LoopNest, ...]  # prologue loops filling the shadows
+
+    @property
+    def fused_var(self) -> str:
+        return self.seq[0].loop_vars[0]
+
+    def shadow_decls(self) -> tuple[ArrayDecl, ...]:
+        """Declarations for the shadow arrays (same shapes as originals)."""
+        out = []
+        for name in self.replicated_arrays:
+            orig = self.program.array(name)
+            out.append(ArrayDecl(_shadow(name), orig.shape, orig.elem_size))
+        return tuple(out)
+
+    def execution_plan(
+        self, params: Mapping[str, int], num_procs: int
+    ) -> ExecutionPlan:
+        """The aligned fused loop as an execution plan.
+
+        Unlike shift-and-peel, alignment partitions the fused *position*
+        space: every dependence is loop-independent (gap zero), so a block
+        of positions is self-contained and no peeling exists.  Processor
+        ``p`` owning positions ``[istart, iend]`` executes nest ``k``'s
+        iterations ``[istart - offset_k, iend - offset_k]`` (clamped; the
+        last processor absorbs the shifted tails).
+        """
+        from ..core.execplan import ProcessorPlan
+        from ..core.schedule import BlockSchedule, GridSchedule
+
+        plan = ShiftPeelPlan(
+            seq=self.seq,
+            depth=1,
+            dims=(
+                DimensionPlan(
+                    var=self.fused_var,
+                    shifts=self.offsets,
+                    peels=(0,) * len(self.offsets),
+                ),
+            ),
+            summary=analyze_sequence(self.seq, self.program.params, 1),
+        )
+        lo = min(nest.loops[0].lower.eval(params) for nest in self.seq)
+        hi = max(nest.loops[0].upper.eval(params) for nest in self.seq)
+        sched = BlockSchedule(lo, hi, num_procs)
+        grid = GridSchedule((sched,))
+        procs = []
+        for p in range(1, num_procs + 1):
+            istart, iend = sched.block(p)
+            fused = []
+            for k, nest in enumerate(self.seq):
+                off = self.offsets[k]
+                lo_k, hi_k = nest.loops[0].bounds(params)
+                start = max(lo_k, istart - off) if p > 1 else lo_k
+                end = min(hi_k, iend - off) if p < num_procs else hi_k
+                box = ((start, end),)
+                for lp in nest.loops[1:]:
+                    box = box + (lp.bounds(params),)
+                fused.append(box)
+            procs.append(
+                ProcessorPlan(
+                    coord=(p,),
+                    block=((istart, iend),),
+                    fused=tuple(fused),
+                    peeled=(),
+                )
+            )
+        return ExecutionPlan(
+            plan=plan, params=dict(params), grid=grid, processors=tuple(procs)
+        )
+
+
+def _shadow(name: str) -> str:
+    return f"{name}0"
+
+
+def _retarget_reads(expr: Expr, array: str, new_array: str) -> Expr:
+    if isinstance(expr, Load):
+        if expr.ref.array == array:
+            return Load(ArrayRef(new_array, expr.ref.subscripts))
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _retarget_reads(expr.left, array, new_array),
+            _retarget_reads(expr.right, array, new_array),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, _retarget_reads(expr.operand, array, new_array))
+    return expr
+
+
+def _site_shift(read: ArrayRef, target: ArrayRef) -> dict[str, int] | None:
+    """Per-variable iteration shift taking the producer's iteration to the
+    one whose value this read site consumes: the read ``X[.. v+c_r ..]``
+    consumes the value written when the producer's ``v+c_t`` equaled it,
+    i.e. at iteration ``v + (c_r - c_t)`` — per loop variable.  Returns
+    None when the subscripts are not unit-coefficient translates."""
+    if read.ndim != target.ndim:
+        return None
+    shift: dict[str, int] = {}
+    for sr, st in zip(read.subscripts, target.subscripts):
+        if sr.coeffs != st.coeffs:
+            return None
+        for v, c in sr.coeffs:
+            if c != 1:
+                return None
+            delta = sr.const - st.const
+            prev = shift.get(v)
+            if prev is not None and prev != delta:
+                return None
+            shift[v] = delta
+    return shift
+
+
+def _inline_reads(
+    expr: Expr, array: str, producer: Assign
+) -> tuple[Expr, int]:
+    """Replace every read of ``array`` with the producer RHS shifted to the
+    producing iteration (computation replication).  Returns the new
+    expression and the number of inlined sites."""
+    if isinstance(expr, Load):
+        if expr.ref.array == array:
+            shift = _site_shift(expr.ref, producer.target)
+            if shift is None:
+                raise AlignmentError(
+                    f"cannot inline non-translate read {expr.ref} of {array}"
+                )
+            inlined = producer.rhs
+            for v, delta in shift.items():
+                if delta:
+                    inlined = inlined.shift_var(v, delta)
+            return inlined, 1
+        return expr, 0
+    if isinstance(expr, BinOp):
+        left, n1 = _inline_reads(expr.left, array, producer)
+        right, n2 = _inline_reads(expr.right, array, producer)
+        return BinOp(expr.op, left, right), n1 + n2
+    if isinstance(expr, UnaryOp):
+        inner, n = _inline_reads(expr.operand, array, producer)
+        return UnaryOp(expr.op, inner), n
+    return expr, 0
+
+
+def _copy_nest(decl: ArrayDecl, index: int) -> LoopNest:
+    """``doall``: shadow = original, over the whole array."""
+    vars_ = [f"c{index}_{d}" for d in range(decl.ndim)]
+    loops = tuple(
+        Loop.make(v, 0, extent - 1, parallel=(d == 0))
+        for d, (v, extent) in enumerate(zip(vars_, decl.shape))
+    )
+    subs = tuple(Affine.var(v) for v in vars_)
+    body = (Assign(ArrayRef(_shadow(decl.name), subs), Load(ArrayRef(decl.name, subs))),)
+    return LoopNest(loops, body, name=f"copy_{decl.name}")
+
+
+def derive_alignment(
+    program: Program,
+    seq: Optional[LoopSequence] = None,
+    max_rounds: int = 4,
+) -> AlignmentResult:
+    """Derive alignment offsets and apply replication until every
+    dependence of the (to-be-)fused loop is loop-independent."""
+    seq = seq if seq is not None else program.sequences[0]
+    seq = canonical_fused_vars(seq, 1)
+    var = seq[0].loop_vars[0]
+    params = program.params
+
+    # --- choose offsets from flow dependences (BFS in sequence order) ----
+    summary = analyze_sequence(seq, params, 1)
+    offsets = [0] * len(seq)
+    for b in range(1, len(seq)):
+        required = set()
+        for dep in summary.deps:
+            if dep.dst == b and dep.kind == DepKind.FLOW:
+                required.add(offsets[dep.src] - dep.distance[0])
+        if required:
+            # On conflict, prefer the largest lag: the remaining flow
+            # violations then have positive gaps... any residual violation
+            # is resolved by replication below regardless of the choice.
+            offsets[b] = max(required)
+
+    nests = list(seq)
+    replicated_arrays: list[str] = []
+    replicated_statements = 0
+
+    for _round in range(max_rounds):
+        work = LoopSequence(tuple(nests), name=f"{seq.name}.aligned")
+        summary = analyze_sequence(work, params, 1, strict=True)
+        violations = [
+            dep
+            for dep in summary.deps
+            if dep.distance[0] + offsets[dep.dst] - offsets[dep.src] != 0
+        ]
+        if not violations:
+            break
+        progress = False
+        for dep in violations:
+            gap = dep.distance[0] + offsets[dep.dst] - offsets[dep.src]
+            if gap == 0:
+                continue
+            if dep.kind == DepKind.FLOW:
+                # Computation replication: inline the producer into the
+                # consumer so the consumer no longer reads the array.
+                producer = None
+                for st in nests[dep.src].body:
+                    if st.target.array == dep.array:
+                        producer = st
+                if producer is None:
+                    raise AlignmentError(f"no producer for {dep}")
+                new_body = []
+                inlined = 0
+                for st in nests[dep.dst].body:
+                    rhs, n = _inline_reads(st.rhs, dep.array, producer)
+                    inlined += n
+                    new_body.append(Assign(st.target, rhs))
+                if not inlined:
+                    # An earlier violation on the same array already
+                    # inlined every read site; nothing left to do.
+                    continue
+                replicated_statements += 1
+                nests[dep.dst] = LoopNest(
+                    nests[dep.dst].loops, tuple(new_body), nests[dep.dst].name
+                )
+                progress = True
+            elif dep.kind == DepKind.ANTI:
+                # Data replication: the early reader must see the old
+                # values; retarget its reads to a prologue snapshot.
+                if dep.array not in replicated_arrays:
+                    replicated_arrays.append(dep.array)
+                src_nest = nests[dep.src]
+                new_body = tuple(
+                    Assign(
+                        st.target,
+                        _retarget_reads(st.rhs, dep.array, _shadow(dep.array)),
+                    )
+                    for st in src_nest.body
+                )
+                nests[dep.src] = LoopNest(src_nest.loops, new_body, src_nest.name)
+                progress = True
+            else:
+                raise AlignmentError(
+                    f"output dependence {dep} cannot be resolved by replication"
+                )
+        if not progress:
+            raise AlignmentError("alignment failed to converge")
+    else:
+        raise AlignmentError(f"replication did not converge in {max_rounds} rounds")
+
+    # Normalize offsets to be non-negative lags (a uniform shift of every
+    # loop changes nothing about relative alignment).
+    low = min(offsets)
+    if low < 0:
+        offsets = [o - low for o in offsets]
+
+    copy_nests = tuple(
+        _copy_nest(program.array(a), idx) for idx, a in enumerate(replicated_arrays)
+    )
+    return AlignmentResult(
+        program=program,
+        seq=LoopSequence(tuple(nests), name=f"{seq.name}.aligned"),
+        offsets=tuple(offsets),
+        replicated_arrays=tuple(replicated_arrays),
+        replicated_statements=replicated_statements,
+        copy_nests=copy_nests,
+    )

@@ -1,0 +1,29 @@
+"""Trace-driven cache simulation: direct-mapped fast path, vectorized
+2-way LRU, general LRU sets, miss classification (3-C), and a TLB model."""
+
+from .cache import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    simulate,
+    simulate_2way_lru,
+    simulate_direct_mapped,
+    simulate_set_associative,
+)
+from .classify import MissBreakdown, classify_misses, fully_associative_misses
+from .tlb import TLBConfig, simulate_tlb
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "MissBreakdown",
+    "TLBConfig",
+    "classify_misses",
+    "fully_associative_misses",
+    "simulate",
+    "simulate_2way_lru",
+    "simulate_direct_mapped",
+    "simulate_set_associative",
+    "simulate_tlb",
+]

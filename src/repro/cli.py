@@ -1,0 +1,201 @@
+"""Command-line interface: the source-to-source compiler and the
+experiment harness as a tool.
+
+Usage::
+
+    python -m repro transform FILE [--style stripmined|direct|spmd]
+    python -m repro analyze FILE
+    python -m repro simulate KERNEL [--machine ksr2|convex] [--procs ...]
+    python -m repro experiment NAME        # table1, table2, fig18..fig26
+    python -m repro list
+
+``transform`` reads a DSL loop program and writes the fused source;
+``analyze`` prints the dependence summary, the derived shift/peel plan and
+a legality/profitability report; ``simulate`` runs a kernel on a simulated
+machine; ``experiment`` regenerates one table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import (
+    evaluate_profitability,
+    fuse_sequence,
+    max_processors,
+)
+from .dependence import analyze_sequence
+from .experiments import (
+    fig15_16,
+    fig18,
+    fig20,
+    fig21,
+    fig22,
+    fig23,
+    fig24,
+    fig25,
+    fig26,
+    setup_kernel,
+    table1,
+    table2,
+)
+from .kernels import all_kernels, get_kernel
+from .lang import parse_program, transform_source
+from .machine import convex_spp1000, ksr2
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "fig15": fig15_16,
+    "fig18": fig18,
+    "fig20": fig20,
+    "fig21": fig21,
+    "fig22": fig22,
+    "fig23": fig23,
+    "fig24": fig24,
+    "fig25": fig25,
+    "fig26": fig26,
+}
+
+MACHINES = {"ksr2": ksr2, "convex": convex_spp1000}
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    """``repro transform``: DSL file in, fused source out."""
+    source = _read(args.file)
+    print(transform_source(source, name=args.file, style=args.style))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``repro analyze``: dependences, derived plan, legality, advice."""
+    source = _read(args.file)
+    program = parse_program(source, name=args.file)
+    seq = program.sequences[0]
+    summary = analyze_sequence(seq, program.params)
+    print(f"{len(seq)} nests, {summary.edge_count()} uniform dependences "
+          f"({summary.pairs_tested} reference pairs tested, "
+          f"{summary.independent_pairs} proved independent)")
+    for dep in summary.deps:
+        print(f"  {dep}")
+    result = fuse_sequence(seq, program.params)
+    print()
+    print(result.plan.describe())
+    params = {p: args.n for p in program.params}
+    ceiling = max_processors(result.plan, params)
+    print(f"\nwith {'/'.join(f'{p}={args.n}' for p in program.params)}: "
+          f"legal up to {ceiling[0]} processors (Theorem 1)")
+    machine = MACHINES[args.machine]()
+    advice = evaluate_profitability(
+        program, result.plan, params, args.procs, machine.cache.capacity_bytes
+    )
+    print(f"profitability at P={args.procs} on {machine.name}: {advice}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """``repro simulate``: speedup sweep of a kernel on a machine model."""
+    machine = MACHINES[args.machine]()
+    exp = setup_kernel(args.kernel, machine, dims_div=args.scale)
+    counts = [int(p) for p in args.procs.split(",")]
+    print(f"{args.kernel} on {exp.machine.name} "
+          f"(cache {exp.machine.cache.capacity_bytes // 1024} KB, "
+          f"params {exp.params}, strip {exp.strip})")
+    print(f"{'P':>3} {'unfused':>9} {'fused':>9} {'improvement':>12}")
+    for point in exp.curves(counts):
+        print(f"{point.num_procs:3d} {point.speedup_unfused:9.2f} "
+              f"{point.speedup_fused:9.2f} "
+              f"{100 * (point.improvement - 1):+11.1f}%")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment``: regenerate one named table/figure."""
+    fn = EXPERIMENTS.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; choose from "
+              f"{', '.join(sorted(EXPERIMENTS))}", file=sys.stderr)
+        return 2
+    print(fn().format())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import generate_report
+
+    report = generate_report(quick=not args.full)
+    print(report.format())
+    return 0 if report.all_ok else 1
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """``repro list``: enumerate kernels and experiments."""
+    print("kernels/applications:")
+    for info in sorted(all_kernels(), key=lambda k: k.name):
+        kind = "application" if info.is_application else "kernel"
+        print(f"  {info.name:8s} ({kind}): {info.description}")
+    print("\nexperiments:", ", ".join(sorted(EXPERIMENTS)))
+    print("plus: report (all of the above with claim checks)")
+    return 0
+
+
+def _read(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (kept separate for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="shift-and-peel loop fusion (ICPP 1995 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("transform", help="fuse a DSL loop program")
+    p.add_argument("file", help="DSL source file ('-' for stdin)")
+    p.add_argument("--style", default="stripmined",
+                   choices=("stripmined", "direct", "spmd"))
+    p.set_defaults(fn=cmd_transform)
+
+    p = sub.add_parser("analyze", help="dependences, plan, profitability")
+    p.add_argument("file")
+    p.add_argument("--n", type=int, default=512, help="size parameter value")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--machine", default="convex", choices=tuple(MACHINES))
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("simulate", help="run a kernel on a simulated machine")
+    p.add_argument("kernel", choices=sorted(k.name for k in all_kernels()))
+    p.add_argument("--machine", default="convex", choices=tuple(MACHINES))
+    p.add_argument("--procs", default="1,2,4,8,16")
+    p.add_argument("--scale", type=int, default=4,
+                   help="linear scale divisor for arrays and caches")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("experiment", help="regenerate one table/figure")
+    p.add_argument("name")
+    p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser("report", help="regenerate the whole evaluation")
+    p.add_argument("--full", action="store_true",
+                   help="full sweeps (minutes) instead of quick ones")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("list", help="list kernels and experiments")
+    p.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Executable code generation: CIR nodes, strip-mined SPMD, direct method."""
+
+from .cir import (
+    CodeBarrier,
+    CodeBlock,
+    CodeFor,
+    CodeIf,
+    CodeLet,
+    CodeNode,
+    CodeStmt,
+    Compare,
+    block,
+    loop,
+    run_code,
+)
+from .direct import direct_fused_code, run_direct
+from .stripmine import (
+    SpmdProcessorCode,
+    fused_block_code,
+    fused_tile_loops,
+    peeled_loops,
+    run_spmd,
+    spmd_codes,
+)
+
+__all__ = [
+    "CodeBarrier",
+    "CodeBlock",
+    "CodeFor",
+    "CodeIf",
+    "CodeLet",
+    "CodeNode",
+    "CodeStmt",
+    "Compare",
+    "SpmdProcessorCode",
+    "block",
+    "direct_fused_code",
+    "fused_block_code",
+    "fused_tile_loops",
+    "loop",
+    "peeled_loops",
+    "run_code",
+    "run_direct",
+    "run_spmd",
+    "spmd_codes",
+]

@@ -1,0 +1,102 @@
+"""Executable direct-method code generation (paper Fig. 11(a)).
+
+The direct method folds all nests into a single fused loop body: shifted
+statements get their subscripts rewritten (``i -> i - shift``) and a guard
+``i >= start + shift`` so the first iterations of lagging nests are
+skipped; the iterations shifted past the block end run in an epilogue.
+Strip-mining is the paper's preferred implementation (Sec. 3.4), but the
+direct method is implemented — and tested for equivalence — because the
+paper presents both and the comparison is part of the design space.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping
+
+import numpy as np
+
+from ..core.derive import ShiftPeelPlan
+from ..ir.expr import Affine, BoundExpr
+from .cir import (
+    CodeBarrier,
+    CodeBlock,
+    CodeFor,
+    CodeIf,
+    CodeNode,
+    CodeStmt,
+    Compare,
+    block,
+    run_code,
+)
+
+
+def _const(value: int) -> BoundExpr:
+    return BoundExpr.affine(Affine.constant(value))
+
+
+def direct_fused_code(
+    plan: ShiftPeelPlan, params: Mapping[str, int]
+) -> CodeNode:
+    """Whole-domain direct-method code (serial legality form, depth 1).
+
+    Produces: one fused loop over positions with guarded, subscript-shifted
+    statements, then the epilogue loops executing iterations moved out by
+    shifting — exactly Fig. 11(a)'s shape with concrete bounds.
+    """
+    if plan.depth != 1:
+        raise ValueError("the direct method is implemented for depth-1 plans")
+    var = plan.dims[0].var
+
+    lo = min(nest.loops[0].lower.eval(params) for nest in plan.seq)
+    hi = max(nest.loops[0].upper.eval(params) for nest in plan.seq)
+
+    guarded: list[CodeNode] = []
+    for k, nest in enumerate(plan.seq):
+        shift = plan.shift(k, 0)
+        nlo, nhi = nest.loops[0].bounds(params)
+        body_stmts: list[CodeNode] = []
+        for st in nest.body:
+            shifted = st.shift_var(var, -shift) if shift else st
+            body_stmts.append(CodeStmt(shifted))
+        body: CodeNode = block(*body_stmts)
+        # Inner (non-fused) loops keep their original ranges.
+        for lp in reversed(nest.loops[1:]):
+            ilo, ihi = lp.bounds(params)
+            body = CodeFor(lp.var, _const(ilo), _const(ihi), body)
+        # Guard: this nest is live for positions [nlo+shift, nhi+shift].
+        if nlo + shift > lo:
+            body = CodeIf(
+                Compare(Affine.var(var), ">=", Affine.constant(nlo + shift)), body
+            )
+        if nhi + shift < hi:
+            body = CodeIf(
+                Compare(Affine.var(var), "<=", Affine.constant(nhi + shift)), body
+            )
+        guarded.append(body)
+    fused = CodeFor(var, _const(lo), _const(hi), block(*guarded), parallel=True)
+
+    # Epilogue: iterations of shifted nests beyond the last position.
+    epilogue: list[CodeNode] = []
+    for k, nest in enumerate(plan.seq):
+        shift = plan.shift(k, 0)
+        nlo, nhi = nest.loops[0].bounds(params)
+        if shift == 0 or nhi + shift <= hi:
+            continue
+        start = max(nlo, hi - shift + 1)
+        body: CodeNode = block(*(CodeStmt(st) for st in nest.body))
+        for lp in reversed(nest.loops[1:]):
+            ilo, ihi = lp.bounds(params)
+            body = CodeFor(lp.var, _const(ilo), _const(ihi), body)
+        epilogue.append(CodeFor(var, _const(start), _const(nhi), body))
+    if epilogue:
+        return CodeBlock((fused, CodeBarrier("shifted tail"), *epilogue))
+    return fused
+
+
+def run_direct(
+    plan: ShiftPeelPlan,
+    params: Mapping[str, int],
+    arrays: MutableMapping[str, np.ndarray],
+) -> None:
+    """Execute the direct-method code (serial fused semantics)."""
+    run_code(direct_fused_code(plan, params), dict(params), arrays)

@@ -1,0 +1,140 @@
+"""Derivation of the shift-and-peel plan for a loop sequence (Sec. 3.3).
+
+For each fused dimension (outermost first) a dependence-chain multigraph is
+built from the uniform inter-loop distances, reduced (min for shifts, max
+for peels), and traversed.  The result is a :class:`ShiftPeelPlan` holding,
+per nest and per dimension, the shift and the graph-derived peel.  The
+*total* peel applied at block boundaries is ``shift + peel`` — one part
+compensates sink iterations moved across the boundary by shifting, the
+other removes sinks of original forward dependences (Sec. 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..dependence.analysis import analyze_sequence
+from ..dependence.model import DependenceSummary
+from ..dependence.multigraph import DependenceChainMultigraph, multigraphs_per_dim
+from ..ir.sequence import LoopSequence
+from ..ir.validate import canonical_fused_vars
+from .traversal import traverse_for_peels, traverse_for_shifts
+
+
+@dataclass(frozen=True)
+class DimensionPlan:
+    """Shift/peel amounts for one fused dimension."""
+
+    var: str
+    shifts: tuple[int, ...]
+    peels: tuple[int, ...]
+
+    def total_peel(self, nest_idx: int) -> int:
+        return self.shifts[nest_idx] + self.peels[nest_idx]
+
+    @property
+    def max_shift(self) -> int:
+        return max(self.shifts)
+
+    @property
+    def max_peel(self) -> int:
+        return max(self.peels)
+
+    @property
+    def max_total_peel(self) -> int:
+        return max(s + p for s, p in zip(self.shifts, self.peels))
+
+    @property
+    def iteration_count_threshold(self) -> int:
+        """``Nt`` of Appendix Def. 6 — the minimum legal block size.
+
+        We additionally require room for the shifted tail and the peeled
+        head to coexist within one block, hence ``max(shift + peel) + 1``.
+        """
+        return self.max_total_peel + 1
+
+
+@dataclass(frozen=True)
+class ShiftPeelPlan:
+    """Complete derivation result for a loop sequence.
+
+    ``seq`` is the canonicalized sequence (fused index variables unified
+    across nests, Sec. 3.3).  ``dims`` holds one :class:`DimensionPlan` per
+    fused dimension, outermost first.
+    """
+
+    seq: LoopSequence
+    depth: int
+    dims: tuple[DimensionPlan, ...]
+    summary: DependenceSummary
+
+    @property
+    def num_nests(self) -> int:
+        return len(self.seq)
+
+    def shift(self, nest_idx: int, dim: int = 0) -> int:
+        return self.dims[dim].shifts[nest_idx]
+
+    def peel(self, nest_idx: int, dim: int = 0) -> int:
+        return self.dims[dim].peels[nest_idx]
+
+    def total_peel(self, nest_idx: int, dim: int = 0) -> int:
+        return self.dims[dim].total_peel(nest_idx)
+
+    def shift_vector(self, nest_idx: int) -> tuple[int, ...]:
+        return tuple(d.shifts[nest_idx] for d in self.dims)
+
+    def peel_vector(self, nest_idx: int) -> tuple[int, ...]:
+        return tuple(d.peels[nest_idx] for d in self.dims)
+
+    @property
+    def max_shift(self) -> int:
+        return max(d.max_shift for d in self.dims)
+
+    @property
+    def max_peel(self) -> int:
+        return max(d.max_peel for d in self.dims)
+
+    def is_plain_fusion(self) -> bool:
+        """True when no shifting or peeling is required at all."""
+        return self.max_shift == 0 and self.max_peel == 0
+
+    def table_rows(self) -> list[tuple[int, tuple[int, ...], tuple[int, ...]]]:
+        """Rows of the paper's Table 2: (loop number, shifts, peels)."""
+        return [
+            (k + 1, self.shift_vector(k), self.peel_vector(k))
+            for k in range(self.num_nests)
+        ]
+
+    def describe(self) -> str:
+        lines = [f"shift-and-peel plan for {self.seq.name} (depth {self.depth})"]
+        for k in range(self.num_nests):
+            lines.append(
+                f"  L{k + 1}: shift={self.shift_vector(k)} peel={self.peel_vector(k)}"
+            )
+        return "\n".join(lines)
+
+
+def derive_shift_peel(
+    seq: LoopSequence,
+    params: Sequence[str] = ("n",),
+    depth: Optional[int] = None,
+    summary: Optional[DependenceSummary] = None,
+) -> ShiftPeelPlan:
+    """Run the full derivation: analyze, build multigraphs, reduce, traverse."""
+    fuse_depth = depth if depth is not None else seq.common_depth()
+    canon = canonical_fused_vars(seq, fuse_depth)
+    if summary is None:
+        summary = analyze_sequence(canon, params, fuse_depth)
+    graphs = multigraphs_per_dim(summary, len(canon))
+    dims = []
+    for dim, mg in enumerate(graphs):
+        shifts = traverse_for_shifts(mg.reduce_min())
+        peels = traverse_for_peels(mg.reduce_max())
+        dims.append(
+            DimensionPlan(var=summary.fused_vars[dim], shifts=shifts, peels=peels)
+        )
+    return ShiftPeelPlan(
+        seq=canon, depth=fuse_depth, dims=tuple(dims), summary=summary
+    )

@@ -1,0 +1,101 @@
+"""Legality of the shift-and-peel transformation (Appendix I).
+
+Theorem 1: for a parallel loop sequence with uniform inter-loop
+dependences, shift-and-peel is legal provided every processor block holds
+at least ``Nt`` iterations (the iteration-count threshold, Def. 6).  This
+module checks that condition for a derived plan and a concrete problem
+size/processor count, and exposes the threshold itself so callers (and the
+profitability analysis) can reason about the maximum usable processor
+count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .derive import ShiftPeelPlan
+from .schedule import BlockSchedule
+
+
+class FusionLegalityError(ValueError):
+    """Raised when Theorem 1's block-size condition is violated."""
+
+
+@dataclass(frozen=True)
+class LegalityCheck:
+    """Result of checking a plan against concrete sizes and a grid."""
+
+    ok: bool
+    thresholds: tuple[int, ...]  # Nt per fused dimension
+    block_sizes: tuple[int, ...]
+    max_procs: tuple[int, ...]  # per-dimension processor ceiling
+    reasons: tuple[str, ...] = ()
+
+    def raise_if_bad(self) -> None:
+        if not self.ok:
+            raise FusionLegalityError("; ".join(self.reasons))
+
+
+def domain_hull(plan: ShiftPeelPlan, params: Mapping[str, int], dim: int) -> tuple[int, int]:
+    """Union hull of all nests' iteration ranges in fused dimension ``dim``."""
+    lo = min(nest.loops[dim].lower.eval(params) for nest in plan.seq)
+    hi = max(nest.loops[dim].upper.eval(params) for nest in plan.seq)
+    return lo, hi
+
+
+def iteration_count_thresholds(plan: ShiftPeelPlan) -> tuple[int, ...]:
+    """``Nt`` per fused dimension (Def. 6, with the conservative ``+1`` of
+    :class:`~repro.core.derive.DimensionPlan`)."""
+    return tuple(d.iteration_count_threshold for d in plan.dims)
+
+
+def max_processors(plan: ShiftPeelPlan, params: Mapping[str, int]) -> tuple[int, ...]:
+    """The largest legal processor count along each fused dimension."""
+    out = []
+    for dim, dplan in enumerate(plan.dims):
+        lo, hi = domain_hull(plan, params, dim)
+        trip = hi - lo + 1
+        nt = dplan.iteration_count_threshold
+        out.append(max(1, trip // nt))
+    return tuple(out)
+
+
+def check_legality(
+    plan: ShiftPeelPlan,
+    params: Mapping[str, int],
+    grid_shape: Sequence[int],
+) -> LegalityCheck:
+    """Validate Theorem 1 for a concrete grid: every block's size must be at
+    least the per-dimension threshold ``Nt``."""
+    if len(grid_shape) != plan.depth:
+        raise ValueError(
+            f"grid has {len(grid_shape)} dims but plan fuses {plan.depth}"
+        )
+    reasons: list[str] = []
+    thresholds = iteration_count_thresholds(plan)
+    block_sizes: list[int] = []
+    ceilings = max_processors(plan, params)
+    for dim, nprocs in enumerate(grid_shape):
+        lo, hi = domain_hull(plan, params, dim)
+        trip = hi - lo + 1
+        if nprocs > trip:
+            reasons.append(
+                f"dim {dim}: {nprocs} processors exceed {trip} iterations"
+            )
+            block_sizes.append(0)
+            continue
+        sched = BlockSchedule(lo, hi, nprocs)
+        block_sizes.append(sched.block_size)
+        if sched.block_size < thresholds[dim]:
+            reasons.append(
+                f"dim {dim}: block size {sched.block_size} < Nt={thresholds[dim]}"
+                f" (Theorem 1 violated; at most {ceilings[dim]} processors)"
+            )
+    return LegalityCheck(
+        ok=not reasons,
+        thresholds=thresholds,
+        block_sizes=tuple(block_sizes),
+        max_procs=ceilings,
+        reasons=tuple(reasons),
+    )

@@ -1,0 +1,126 @@
+"""Profitability of fusion (paper Secs. 5–6).
+
+The measurements in Figs. 22 and 24 show the benefit of fusion vanishing —
+and turning into a loss — once each processor's share of the data fits in
+its cache: locality needs no help then, and shift-and-peel's overhead
+(strip-mining control, peeled iterations, guards) dominates.  The paper
+concludes the compiler should evaluate profitability "with knowledge of the
+data size with respect to the cache size"; this module implements exactly
+that predictor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..ir.sequence import Program
+from .derive import ShiftPeelPlan
+
+
+@dataclass(frozen=True)
+class FusionAdvice:
+    """Prediction of whether fusion pays off at a given processor count."""
+
+    profitable: bool
+    data_bytes: int
+    per_proc_bytes: int
+    cache_bytes: int
+    crossover_procs: int
+    overhead_fraction: float
+    reason: str
+
+    def __str__(self) -> str:
+        verdict = "fuse" if self.profitable else "do not fuse"
+        return (
+            f"{verdict}: per-proc data {self.per_proc_bytes}B vs cache "
+            f"{self.cache_bytes}B (crossover ~{self.crossover_procs} procs); "
+            f"{self.reason}"
+        )
+
+
+def shared_data_bytes(program: Program, params: Mapping[str, int]) -> int:
+    """Total bytes of arrays referenced by the program's loop sequences."""
+    used: set[str] = set()
+    for seq in program.sequences:
+        used |= seq.arrays()
+    return sum(
+        decl.size_bytes(params) for decl in program.arrays if decl.name in used
+    )
+
+
+def peel_overhead_fraction(
+    plan: ShiftPeelPlan, params: Mapping[str, int], num_procs: int
+) -> float:
+    """Fraction of iterations executed in the peeled (post-barrier) phase.
+
+    A cheap structural estimate: each interior block boundary peels
+    ``shift + peel`` iterations of each shifted/peeled nest per fused
+    dimension, against ``trip/num_procs`` per block.
+    """
+    total = 0
+    peeled = 0
+    for k, nest in enumerate(plan.seq):
+        iters = nest.iteration_count(params)
+        total += iters
+        boundary = 0.0
+        for dim, dplan in enumerate(plan.dims):
+            lp = nest.loops[dim]
+            trip = lp.trip_count(params)
+            if trip == 0:
+                continue
+            cross = dplan.total_peel(k)
+            boundary += (num_procs - 1) * cross * (iters / trip)
+        peeled += boundary
+    return peeled / total if total else 0.0
+
+
+def evaluate_profitability(
+    program: Program,
+    plan: ShiftPeelPlan,
+    params: Mapping[str, int],
+    num_procs: int,
+    cache_bytes: int,
+    overhead_threshold: float = 0.08,
+) -> FusionAdvice:
+    """Decide fusion profitability (the paper's proposed compile-time test).
+
+    Fusion is predicted profitable when (a) each processor's share of the
+    referenced data exceeds its cache — so inter-nest reuse misses without
+    fusion — and (b) the peeling/strip-mining overhead stays below
+    ``overhead_threshold`` of the useful work.
+    """
+    data = shared_data_bytes(program, params)
+    per_proc = data // max(1, num_procs)
+    crossover = max(1, data // cache_bytes)
+    overhead = peel_overhead_fraction(plan, params, num_procs)
+
+    if per_proc <= cache_bytes:
+        return FusionAdvice(
+            profitable=False,
+            data_bytes=data,
+            per_proc_bytes=per_proc,
+            cache_bytes=cache_bytes,
+            crossover_procs=crossover,
+            overhead_fraction=overhead,
+            reason="per-processor data fits in cache; locality needs no help",
+        )
+    if overhead > overhead_threshold:
+        return FusionAdvice(
+            profitable=False,
+            data_bytes=data,
+            per_proc_bytes=per_proc,
+            cache_bytes=cache_bytes,
+            crossover_procs=crossover,
+            overhead_fraction=overhead,
+            reason=f"peel overhead {overhead:.1%} exceeds {overhead_threshold:.1%}",
+        )
+    return FusionAdvice(
+        profitable=True,
+        data_bytes=data,
+        per_proc_bytes=per_proc,
+        cache_bytes=cache_bytes,
+        crossover_procs=crossover,
+        overhead_fraction=overhead,
+        reason="per-processor data exceeds cache; fusion exploits inter-nest reuse",
+    )

@@ -1,0 +1,147 @@
+"""Static block scheduling (Appendix Def. 5).
+
+Peeling assumes static, blocked scheduling of the fused loop: processor
+``p`` (1-based) executes the contiguous block ``[istart(p), iend(p)]`` of
+the fused dimension, with the remainder folded into the last block exactly
+as in Def. 5.  Multidimensional schedules distribute each fused dimension
+over one axis of a processor grid (Fig. 16).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """Blocked partition of the inclusive range ``[lower, upper]``.
+
+    Blocks are *balanced*: sizes differ by at most one iteration (the first
+    ``trip % P`` blocks get the extra iteration).  Def. 5 folds the whole
+    remainder into the last block; balancing is the standard refinement and
+    keeps every legality argument intact (the binding quantity, the
+    minimum block size, only grows).
+    """
+
+    lower: int
+    upper: int
+    num_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("need at least one block")
+        if self.upper < self.lower:
+            raise ValueError("empty iteration range")
+        if self.trip_count < self.num_blocks:
+            raise ValueError(
+                f"cannot split {self.trip_count} iterations into "
+                f"{self.num_blocks} blocks"
+            )
+
+    @property
+    def trip_count(self) -> int:
+        return self.upper - self.lower + 1
+
+    @property
+    def block_size(self) -> int:
+        """The *minimum* block size (what Theorem 1's condition bounds)."""
+        return self.trip_count // self.num_blocks
+
+    @property
+    def _extra(self) -> int:
+        return self.trip_count % self.num_blocks
+
+    def istart(self, p: int) -> int:
+        """Start of block ``p`` (1-based)."""
+        self._check(p)
+        q = self.block_size
+        return self.lower + q * (p - 1) + min(p - 1, self._extra)
+
+    def iend(self, p: int) -> int:
+        self._check(p)
+        if p == self.num_blocks:
+            return self.upper
+        return self.istart(p + 1) - 1
+
+    def block(self, p: int) -> tuple[int, int]:
+        return self.istart(p), self.iend(p)
+
+    def blocks(self) -> Iterator[tuple[int, int]]:
+        for p in range(1, self.num_blocks + 1):
+            yield self.block(p)
+
+    def owner(self, i: int) -> int:
+        """Block (1-based) owning iteration ``i``."""
+        if not self.lower <= i <= self.upper:
+            raise ValueError(f"iteration {i} outside [{self.lower}, {self.upper}]")
+        q = self.block_size
+        offset = i - self.lower
+        wide = (q + 1) * self._extra  # iterations covered by the wider blocks
+        if q and offset < wide:
+            return offset // (q + 1) + 1
+        return self._extra + (offset - wide) // q + 1 if q else self.num_blocks
+
+    def _check(self, p: int) -> None:
+        if not 1 <= p <= self.num_blocks:
+            raise ValueError(f"block index {p} outside 1..{self.num_blocks}")
+
+
+@dataclass(frozen=True)
+class GridSchedule:
+    """Processor grid: one :class:`BlockSchedule` per fused dimension."""
+
+    dims: tuple[BlockSchedule, ...]
+
+    @property
+    def num_procs(self) -> int:
+        total = 1
+        for sched in self.dims:
+            total *= sched.num_blocks
+        return total
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return tuple(s.num_blocks for s in self.dims)
+
+    def coords(self) -> Iterator[tuple[int, ...]]:
+        """All grid coordinates (1-based per dimension), row-major."""
+        return itertools.product(*(range(1, s.num_blocks + 1) for s in self.dims))
+
+    def block(self, coord: Sequence[int]) -> tuple[tuple[int, int], ...]:
+        return tuple(s.block(p) for s, p in zip(self.dims, coord))
+
+    def flat_index(self, coord: Sequence[int]) -> int:
+        idx = 0
+        for sched, p in zip(self.dims, coord):
+            idx = idx * sched.num_blocks + (p - 1)
+        return idx
+
+
+def factor_grid(num_procs: int, ndims: int) -> tuple[int, ...]:
+    """Factor ``num_procs`` into an ``ndims``-dimensional grid, preferring
+    near-square shapes (matches the paper's 2-D distribution in Fig. 16)."""
+    if ndims == 1:
+        return (num_procs,)
+    shape = [1] * ndims
+    remaining = num_procs
+    # Greedy: repeatedly pull the largest factor <= remaining**(1/axes_left).
+    for axis in range(ndims - 1):
+        axes_left = ndims - axis
+        target = max(1, round(remaining ** (1.0 / axes_left)))
+        best = 1
+        for f in range(target, 0, -1):
+            if remaining % f == 0:
+                best = f
+                break
+        # Also look upward for a close divisor.
+        for f in range(target + 1, remaining + 1):
+            if remaining % f == 0 and abs(f - target) < abs(best - target):
+                best = f
+            if f > 2 * target:
+                break
+        shape[axis] = best
+        remaining //= best
+    shape[-1] = remaining
+    return tuple(shape)

@@ -1,0 +1,55 @@
+"""Dependence-chain graph traversal (paper Fig. 8).
+
+The same linear-time accumulation derives both shifts and peels:
+
+* **Shifts**: traverse the min-reduced chain graph; only negative edges
+  contribute, every vertex keeps the *minimum* accumulated weight.  The
+  negated final weight of a vertex is how far its loop must be shifted
+  relative to the first loop for fusion to be legal.
+* **Peels**: traverse the max-reduced chain graph; only positive edges
+  contribute, every vertex keeps the *maximum* accumulated weight — the
+  number of iterations that must be peeled (beyond shifting) to remove
+  cross-processor dependences.
+
+Vertices are visited in program order, which is already a topological
+order for an admissible sequence (edges always point forward).
+"""
+
+from __future__ import annotations
+
+from .. dependence.multigraph import ChainGraph
+
+
+def traverse_for_shifts(graph: ChainGraph) -> tuple[int, ...]:
+    """Propagate shifts along dependence chains (Fig. 8, verbatim).
+
+    Returns per-vertex shift amounts (non-negative integers).
+    """
+    weight = [0] * graph.num_vertices
+    for v in graph.topological_order():
+        for e in graph.out_edges(v):
+            if e.weight < 0:
+                weight[e.dst] = min(weight[e.dst], weight[v] + e.weight)
+            else:
+                # Non-negative edges contribute no shift of their own but
+                # must propagate accumulated shifting along the chain.
+                weight[e.dst] = min(weight[e.dst], weight[v])
+    return tuple(-w for w in weight)
+
+
+def traverse_for_peels(graph: ChainGraph) -> tuple[int, ...]:
+    """Dual traversal for peeling: positive edges accumulate, maxima kept.
+
+    Returns per-vertex peel amounts (non-negative integers) — the paper's
+    Table-2 "peels" column, i.e. peeling due to original forward
+    dependences (shift-induced peeling is added separately at code
+    generation, Sec. 3.5).
+    """
+    weight = [0] * graph.num_vertices
+    for v in graph.topological_order():
+        for e in graph.out_edges(v):
+            if e.weight > 0:
+                weight[e.dst] = max(weight[e.dst], weight[v] + e.weight)
+            else:
+                weight[e.dst] = max(weight[e.dst], weight[v])
+    return tuple(weight)

@@ -1,0 +1,48 @@
+"""Dependence analysis: exact uniform distances for affine references,
+inter-loop analysis over sequences, and dependence-chain multigraphs."""
+
+from .analysis import (
+    analyze_pair,
+    analyze_sequence,
+    carried_dependences,
+    parallel_loops_sound,
+)
+from .model import (
+    Dependence,
+    DependenceSummary,
+    DepKind,
+    NonUniformDependenceError,
+    classify,
+)
+from .multigraph import (
+    ChainGraph,
+    DependenceChainMultigraph,
+    Edge,
+    multigraphs_per_dim,
+)
+from .solver import (
+    DistanceSolution,
+    banerjee_test,
+    gcd_test,
+    solve_uniform_distance,
+)
+
+__all__ = [
+    "ChainGraph",
+    "DepKind",
+    "Dependence",
+    "DependenceChainMultigraph",
+    "DependenceSummary",
+    "DistanceSolution",
+    "Edge",
+    "NonUniformDependenceError",
+    "analyze_pair",
+    "analyze_sequence",
+    "banerjee_test",
+    "carried_dependences",
+    "classify",
+    "gcd_test",
+    "multigraphs_per_dim",
+    "parallel_loops_sound",
+    "solve_uniform_distance",
+]

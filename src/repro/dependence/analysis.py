@@ -1,0 +1,169 @@
+"""Inter-loop dependence analysis over admissible loop sequences.
+
+For every ordered pair of nests ``(La, Lb)`` with ``a < b`` and every pair
+of references to a common array where at least one reference writes, the
+exact solver computes the uniform distance of the relation (or proves
+independence / flags non-uniformity).  The result feeds the
+dependence-chain multigraph (Figs. 9/10) from which shifts and peels are
+derived.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..ir.loop import LoopNest
+from ..ir.sequence import LoopSequence
+from ..ir.validate import canonical_fused_vars, validate_sequence
+from .model import (
+    Dependence,
+    DependenceSummary,
+    DepKind,
+    NonUniformDependenceError,
+    classify,
+)
+from .solver import DistanceSolution, solve_uniform_distance
+
+
+def _ref_sites(nest: LoopNest):
+    """All (ref, is_write) sites of a nest's body, in statement order."""
+    for st in nest.body:
+        for ref in st.reads():
+            yield ref, False
+        yield st.target, True
+
+
+def analyze_pair(
+    src_nest: LoopNest,
+    dst_nest: LoopNest,
+    src_idx: int,
+    dst_idx: int,
+    fused_vars: Sequence[str],
+    strict: bool = True,
+) -> tuple[list[Dependence], int, int]:
+    """Dependences from ``src_nest`` to ``dst_nest``.
+
+    Returns ``(deps, pairs_tested, independent_pairs)``.  With
+    ``strict=True`` a non-uniform relation raises
+    :class:`NonUniformDependenceError`; otherwise it is skipped (used by
+    exploratory tooling).
+    """
+    inner_vars = tuple(
+        dict.fromkeys(
+            [v for v in src_nest.loop_vars if v not in fused_vars]
+            + [v for v in dst_nest.loop_vars if v not in fused_vars]
+        )
+    )
+    deps: list[Dependence] = []
+    seen: set[tuple] = set()
+    tested = 0
+    independent = 0
+    for src_ref, src_w in _ref_sites(src_nest):
+        for dst_ref, dst_w in _ref_sites(dst_nest):
+            if src_ref.array != dst_ref.array:
+                continue
+            if not (src_w or dst_w):
+                continue  # read-read is reuse, not dependence
+            tested += 1
+            sol = solve_uniform_distance(src_ref, dst_ref, fused_vars, inner_vars)
+            if sol.status == "independent":
+                independent += 1
+                continue
+            if sol.status == "nonuniform":
+                if strict:
+                    raise NonUniformDependenceError(
+                        src_ref.array,
+                        src_idx,
+                        dst_idx,
+                        f"{src_ref} vs {dst_ref}: dims {sol.free_dims} underdetermined",
+                    )
+                independent += 1
+                continue
+            kind = classify(src_w, dst_w)
+            key = (kind, src_ref.array, sol.distance, str(src_ref), str(dst_ref))
+            if key in seen:
+                continue
+            seen.add(key)
+            deps.append(
+                Dependence(
+                    src=src_idx,
+                    dst=dst_idx,
+                    kind=kind,
+                    array=src_ref.array,
+                    distance=sol.distance,
+                    src_ref=src_ref,
+                    dst_ref=dst_ref,
+                )
+            )
+    return deps, tested, independent
+
+
+def analyze_sequence(
+    seq: LoopSequence,
+    params: Sequence[str] = ("n",),
+    depth: Optional[int] = None,
+    strict: bool = True,
+) -> DependenceSummary:
+    """Compute all uniform inter-loop dependences of ``seq`` for fusion of
+    the ``depth`` outermost dimensions (default: common nest depth)."""
+    fuse_depth = depth if depth is not None else seq.common_depth()
+    validate_sequence(seq, params, fuse_depth).raise_if_bad()
+    canon = canonical_fused_vars(seq, fuse_depth)
+    fused_vars = canon[0].loop_vars[:fuse_depth]
+
+    all_deps: list[Dependence] = []
+    tested = 0
+    independent = 0
+    for a in range(len(canon)):
+        for b in range(a + 1, len(canon)):
+            deps, t, ind = analyze_pair(
+                canon[a], canon[b], a, b, fused_vars, strict=strict
+            )
+            all_deps.extend(deps)
+            tested += t
+            independent += ind
+    return DependenceSummary(
+        deps=tuple(all_deps),
+        fused_vars=tuple(fused_vars),
+        pairs_tested=tested,
+        independent_pairs=independent,
+    )
+
+
+def carried_dependences(
+    nest: LoopNest, strict: bool = False
+) -> list[tuple[str, tuple[int, ...]]]:
+    """Loop-carried dependences *within* a single nest.
+
+    Used to check that loops declared ``doall`` really are parallel: any
+    dependence with a nonzero distance in a parallel dimension makes the
+    declaration unsound.  Returns ``(array, distance)`` pairs with nonzero
+    distance.
+    """
+    vars_ = nest.loop_vars
+    carried: list[tuple[str, tuple[int, ...]]] = []
+    sites = list(_ref_sites(nest))
+    for i, (ref_a, w_a) in enumerate(sites):
+        for ref_b, w_b in sites:
+            if ref_a.array != ref_b.array or not (w_a or w_b):
+                continue
+            sol = solve_uniform_distance(ref_a, ref_b, vars_, ())
+            if sol.status == "uniform" and any(d != 0 for d in sol.distance):
+                carried.append((ref_a.array, sol.distance))
+            elif sol.status == "nonuniform" and strict:
+                raise NonUniformDependenceError(
+                    ref_a.array, 0, 1, f"intra-nest {ref_a} vs {ref_b}"
+                )
+    return carried
+
+
+def parallel_loops_sound(nest: LoopNest) -> bool:
+    """True when no loop-carried dependence contradicts a ``doall`` flag."""
+    parallel_dims = [k for k, lp in enumerate(nest.loops) if lp.parallel]
+    for _, distance in carried_dependences(nest):
+        for k in parallel_dims:
+            # A dependence carried by parallel dim k: nonzero at k and zero
+            # in every outer dimension.
+            if distance[k] != 0 and all(distance[j] == 0 for j in range(k)):
+                return False
+    return True

@@ -1,0 +1,198 @@
+"""Exact dependence-distance solver for affine references.
+
+The paper uses the Omega test because shift-and-peel *requires distances*,
+not just a dependent/independent verdict (Sec. 2.1).  For the program class
+considered here — affine subscripts over loop variables — the element
+equality ``h_a . i1 + c_a = h_b . i2 + c_b`` with the uniform ansatz
+``i2 = i1 + d`` reduces to the integer linear system ``H . d = c_a - c_b``
+restricted to variables the references actually use.  We solve that system
+exactly over the integers with fraction-free Gaussian elimination, and
+report one of three outcomes per fused dimension:
+
+* a unique integer distance (the uniform case shift-and-peel needs),
+* *no* solution — the references are independent (a GCD-style proof), or
+* an underdetermined dimension — a non-uniform ("star") relation.
+
+Classic GCD and Banerjee tests are also provided as stand-alone
+independence filters (used as cross-checks in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..ir.access import ArrayRef
+
+
+@dataclass(frozen=True)
+class DistanceSolution:
+    """Outcome of solving for a uniform distance vector.
+
+    ``status`` is ``'independent'`` (no integer solution exists),
+    ``'uniform'`` (unique distance per fused dimension, in ``distance``), or
+    ``'nonuniform'`` (solutions exist but some fused dimension is not
+    uniquely determined; ``free_dims`` lists which).
+    """
+
+    status: str
+    distance: Optional[tuple[int, ...]] = None
+    free_dims: tuple[int, ...] = ()
+
+
+def solve_uniform_distance(
+    src_ref: ArrayRef,
+    dst_ref: ArrayRef,
+    fused_vars: Sequence[str],
+    inner_vars: Sequence[str] = (),
+) -> DistanceSolution:
+    """Solve for the uniform distance of ``dst`` relative to ``src``.
+
+    Unknowns are the fused-dimension distances ``d_v`` plus, for inner
+    (non-fused) loop variables, independent source/sink instances — an
+    element touched at any inner iteration of the source may be re-touched
+    at any inner iteration of the sink.  Inner variables therefore
+    contribute two unknowns each (source and sink occurrence), which are
+    existentially quantified: they only affect feasibility, never the
+    reported fused distance.
+    """
+    if src_ref.array != dst_ref.array:
+        raise ValueError("references must name the same array")
+    if src_ref.ndim != dst_ref.ndim:
+        return DistanceSolution("independent")
+
+    fused = list(fused_vars)
+    inner = list(inner_vars)
+    # Column layout: [d_v for fused vars] + [src inner vars] + [dst inner vars]
+    ncols = len(fused) + 2 * len(inner)
+    rows: list[list[Fraction]] = []
+    rhs: list[Fraction] = []
+
+    for dim in range(src_ref.ndim):
+        sa = src_ref.subscripts[dim]
+        sb = dst_ref.subscripts[dim]
+        row = [Fraction(0)] * ncols
+        # h_a . i1 + c_a = h_b . (i1 + d) + c_b for fused vars requires the
+        # fused-var coefficients to match; otherwise the relation between the
+        # iterations is not a pure translation (non-uniform).
+        for vi, v in enumerate(fused):
+            ca = sa.coeff(v)
+            cb = sb.coeff(v)
+            if ca != cb:
+                return DistanceSolution("nonuniform", free_dims=(vi,))
+            row[vi] = Fraction(-cb)  # move h_b . d to LHS: -coeff * d_v
+        for vi, v in enumerate(inner):
+            row[len(fused) + vi] = Fraction(sa.coeff(v))
+            row[len(fused) + len(inner) + vi] = Fraction(-sb.coeff(v))
+        # Symbolic parameters (e.g. n) must match exactly for equality to be
+        # possible for all parameter values.
+        extra = set(sa.names) | set(sb.names)
+        extra -= set(fused) | set(inner)
+        for p in extra:
+            if sa.coeff(p) != sb.coeff(p):
+                return DistanceSolution("independent")
+        rows.append(row)
+        rhs.append(Fraction(sb.const - sa.const))
+
+    solution = _solve_integer_system(rows, rhs, ncols)
+    if solution is None:
+        return DistanceSolution("independent")
+    values, determined = solution
+    free = tuple(vi for vi in range(len(fused)) if not determined[vi])
+    if free:
+        return DistanceSolution("nonuniform", free_dims=free)
+    distance = tuple(int(values[vi]) for vi in range(len(fused)))
+    return DistanceSolution("uniform", distance=distance)
+
+
+def _solve_integer_system(
+    rows: list[list[Fraction]], rhs: list[Fraction], ncols: int
+) -> Optional[tuple[list[Fraction], list[bool]]]:
+    """Gaussian elimination over Q with an integrality check.
+
+    Returns ``(values, determined)`` where ``values[c]`` is meaningful only
+    when ``determined[c]`` is True, or ``None`` if the system has no
+    rational solution or a determined unknown is non-integral.
+    """
+    m = [row[:] + [b] for row, b in zip(rows, rhs)]
+    nrows = len(m)
+    pivot_col_of_row: list[int] = []
+    r = 0
+    for c in range(ncols):
+        pivot = None
+        for rr in range(r, nrows):
+            if m[rr][c] != 0:
+                pivot = rr
+                break
+        if pivot is None:
+            continue
+        m[r], m[pivot] = m[pivot], m[r]
+        pv = m[r][c]
+        m[r] = [x / pv for x in m[r]]
+        for rr in range(nrows):
+            if rr != r and m[rr][c] != 0:
+                factor = m[rr][c]
+                m[rr] = [x - factor * y for x, y in zip(m[rr], m[r])]
+        pivot_col_of_row.append(c)
+        r += 1
+        if r == nrows:
+            break
+    # Inconsistent row: 0 = nonzero.
+    for rr in range(r, nrows):
+        if m[rr][ncols] != 0:
+            return None
+    values = [Fraction(0)] * ncols
+    determined = [False] * ncols
+    for row_idx, col in enumerate(pivot_col_of_row):
+        # The unknown is uniquely determined only if no free column feeds it.
+        has_free = any(
+            m[row_idx][c2] != 0
+            for c2 in range(ncols)
+            if c2 != col and c2 not in pivot_col_of_row
+        )
+        if has_free:
+            continue
+        val = m[row_idx][ncols]
+        if val.denominator != 1:
+            return None  # rational but non-integer solution: independent
+        values[col] = val
+        determined[col] = True
+    return values, determined
+
+
+# ---------------------------------------------------------------------------
+# Classic independence filters (cross-checks; paper Sec. 2.1)
+# ---------------------------------------------------------------------------
+
+
+def gcd_test(coeffs: Sequence[int], const: int) -> bool:
+    """GCD test for ``sum(coeffs . x) = const``: returns True when a
+    dependence is *possible* (False proves independence)."""
+    nz = [abs(c) for c in coeffs if c != 0]
+    if not nz:
+        return const == 0
+    g = nz[0]
+    for c in nz[1:]:
+        g = math.gcd(g, c)
+    return const % g == 0
+
+
+def banerjee_test(
+    coeffs: Sequence[int],
+    const: int,
+    bounds: Sequence[tuple[int, int]],
+) -> bool:
+    """Banerjee bounds test for ``sum(coeffs[k] * x_k) = const`` with
+    ``bounds[k] = (lo_k, hi_k)``: True when a (real-valued) solution may
+    exist within bounds, False when independence is proven."""
+    lo = hi = 0
+    for c, (lo_k, hi_k) in zip(coeffs, bounds):
+        if c >= 0:
+            lo += c * lo_k
+            hi += c * hi_k
+        else:
+            lo += c * hi_k
+            hi += c * lo_k
+    return lo <= const <= hi

@@ -1,0 +1,71 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+Every function regenerates the corresponding result from scratch —
+dependence analysis, shift/peel derivation, trace-driven cache simulation
+and the machine cost model — and returns a structured result whose
+``format()`` method prints the same rows/series the paper reports.
+"""
+
+from .alignment_fig import Fig26Result, fig26, measure_aligned
+from .app_figs import Fig21Result, Fig25Result, fig21, fig25
+from .common import (
+    AppExperiment,
+    AppPoint,
+    KernelExperiment,
+    choose_strip,
+    format_table,
+    make_layout,
+    params_for,
+    setup_application,
+    setup_kernel,
+)
+from .jacobi_fig import JacobiResult, fig15_16
+from .kernel_figs import (
+    Fig24Result,
+    KernelCurves,
+    MultiCurves,
+    fig22,
+    fig23,
+    fig24,
+)
+from .padding_figs import Fig20Result, PaddingSeries, fig18, fig20
+from .report import Report, SectionResult, generate_report
+from .tables import Table1Result, Table2Result, table1, table2
+
+__all__ = [
+    "AppExperiment",
+    "AppPoint",
+    "Fig20Result",
+    "Fig21Result",
+    "Fig24Result",
+    "Fig25Result",
+    "Fig26Result",
+    "JacobiResult",
+    "KernelCurves",
+    "KernelExperiment",
+    "MultiCurves",
+    "PaddingSeries",
+    "Report",
+    "SectionResult",
+    "Table1Result",
+    "Table2Result",
+    "choose_strip",
+    "fig15_16",
+    "fig18",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "format_table",
+    "generate_report",
+    "make_layout",
+    "measure_aligned",
+    "params_for",
+    "setup_application",
+    "setup_kernel",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,179 @@
+"""Figure 26: shift-and-peel peeling vs. alignment with replication.
+
+Both techniques parallelize the fused LL18 loop; the difference is the
+price.  Alignment/replication (Callahan; Appelbe & Smith) needs two arrays
+snapshot-copied every invocation and two statements recomputed every
+iteration, while peeling only re-executes a boundary sliver after one
+barrier.  The simulated comparison charges alignment for its copy-loop
+sweeps (extra references and misses) and its inlined recomputation, and
+charges peeling for its peeled iterations and extra barrier — reproducing
+the paper's verdict that peeling is uniformly faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines.alignment import AlignmentResult, derive_alignment
+from ..core.schedule import BlockSchedule
+from ..ir.sequence import Program
+from ..kernels.base import get_kernel
+from ..machine.memory import MemoryLayout
+from ..machine.simulator import RunMeasurement, _proc_misses, _tile_count
+from ..machine.specs import MachineSpec, convex_spp1000, ksr2
+from ..machine.trace import fused_proc_trace, nest_block_trace
+from ..partition.greedy import greedy_memory_layout
+from .common import choose_strip, format_table, params_for, setup_kernel
+
+
+def aligned_layout(
+    alignment: AlignmentResult, params, machine: MachineSpec
+) -> MemoryLayout:
+    """Cache-partitioned layout including the shadow (replicated) arrays."""
+    decls = list(alignment.program.arrays) + list(alignment.shadow_decls())
+    return greedy_memory_layout(
+        [(d.name, d.concrete_shape(params)) for d in decls],
+        machine.cache,
+        elem_size=decls[0].elem_size,
+    ).layout
+
+
+def measure_aligned(
+    alignment: AlignmentResult,
+    params,
+    layout: MemoryLayout,
+    machine: MachineSpec,
+    num_procs: int,
+    strip: int = 16,
+    warm: bool = True,
+) -> RunMeasurement:
+    """Simulate alignment/replication: the prologue copy loops (each a
+    parallel loop with a barrier), then the synchronization-free aligned
+    fused loop."""
+    exec_plan = alignment.execution_plan(params, num_procs)
+    penalty = machine.miss_penalty(num_procs)
+    worst = 0.0
+    total_misses = 0
+    total_refs = 0
+    for p, proc in enumerate(exec_plan.processors, start=1):
+        parts = []
+        for cn in alignment.copy_nests:
+            lo, hi = cn.loops[0].bounds(params)
+            nblocks = min(num_procs, hi - lo + 1)
+            if p <= nblocks:
+                sched = BlockSchedule(lo, hi, nblocks)
+                parts.append(nest_block_trace(cn, params, layout, sched.block(p)))
+        fused, peeled = fused_proc_trace(exec_plan, proc, layout, strip)
+        parts.extend([fused, peeled])
+        trace = np.concatenate(parts)
+        stats = _proc_misses(trace, machine, warm)
+        ntiles = _tile_count(exec_plan, proc, strip)
+        overhead = (
+            machine.guard_overhead * stats.accesses
+            + machine.loop_overhead * ntiles * len(alignment.seq)
+        )
+        cycles = stats.accesses * machine.ref_cycles + overhead + stats.misses * penalty
+        worst = max(worst, cycles)
+        total_misses += stats.misses
+        total_refs += stats.accesses
+    barriers = len(alignment.copy_nests) + 1
+    time = worst + barriers * machine.barrier_cycles(num_procs)
+    return RunMeasurement(
+        version="aligned",
+        machine=machine.name,
+        num_procs=num_procs,
+        time_cycles=time,
+        misses=total_misses,
+        refs=total_refs,
+        barriers=barriers,
+    )
+
+
+@dataclass(frozen=True)
+class Fig26Series:
+    machine: str
+    num_procs: tuple[int, ...]
+    speedup_peeling: tuple[float, ...]
+    speedup_alignment: tuple[float, ...]
+    replicated_arrays: tuple[str, ...]
+    replicated_statements: int
+
+    def peeling_wins_everywhere(self) -> bool:
+        return all(
+            p >= a for p, a in zip(self.speedup_peeling, self.speedup_alignment)
+        )
+
+    def format(self) -> str:
+        rows = [
+            (p, f"{pe:.2f}", f"{al:.2f}")
+            for p, pe, al in zip(
+                self.num_procs, self.speedup_peeling, self.speedup_alignment
+            )
+        ]
+        head = (
+            f"{self.machine}: alignment replicates "
+            f"{len(self.replicated_arrays)} arrays "
+            f"({', '.join(self.replicated_arrays)}) and "
+            f"{self.replicated_statements} statements"
+        )
+        return head + "\n" + format_table(
+            ["P", "peeling", "alignment/replication"], rows
+        )
+
+
+@dataclass(frozen=True)
+class Fig26Result:
+    series: tuple[Fig26Series, ...]
+
+    def format(self) -> str:
+        return "\n\n".join(s.format() for s in self.series)
+
+
+def _series(
+    machine: MachineSpec,
+    dims_div: int,
+    params,
+    proc_counts: Sequence[int],
+) -> Fig26Series:
+    from ..machine.simulator import measure_fused, measure_unfused
+
+    exp = setup_kernel("ll18", machine, dims_div, params=params)
+    alignment = derive_alignment(exp.program)
+    layout = aligned_layout(alignment, exp.params, exp.machine)
+    counts = [p for p in proc_counts if p <= exp.max_procs()]
+
+    baseline = measure_unfused(exp.seq, exp.params, exp.layout, exp.machine, 1)
+    peel = []
+    align = []
+    for np_ in counts:
+        fused = measure_fused(
+            exp.exec_plan(np_), exp.layout, exp.machine, strip=exp.strip
+        )
+        aligned = measure_aligned(
+            alignment, exp.params, layout, exp.machine, np_, strip=exp.strip
+        )
+        peel.append(baseline.time_cycles / fused.time_cycles)
+        align.append(baseline.time_cycles / aligned.time_cycles)
+    return Fig26Series(
+        machine=exp.machine.name,
+        num_procs=tuple(counts),
+        speedup_peeling=tuple(peel),
+        speedup_alignment=tuple(align),
+        replicated_arrays=alignment.replicated_arrays,
+        replicated_statements=alignment.replicated_statements,
+    )
+
+
+def fig26(
+    ksr2_procs: Sequence[int] = (1, 2, 4, 8, 16, 24, 32, 40, 48, 56),
+    convex_procs: Sequence[int] = (1, 2, 4, 8, 12, 16),
+) -> Fig26Result:
+    return Fig26Result(
+        series=(
+            _series(ksr2(), 2, None, ksr2_procs),
+            _series(convex_spp1000(), 3, {"n": 1024 // 3 + 2}, convex_procs),
+        )
+    )

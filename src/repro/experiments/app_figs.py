@@ -1,0 +1,167 @@
+"""Figures 21 and 25: whole-application results on the Convex.
+
+* Fig. 21 — cache partitioning matters for applications: tomcatv and
+  hydro2d speedups for (a) the original code with cache partitioning,
+  (b) the original code without it, and (c) the fused code *without*
+  partitioning.  Conflicts hurt all three, and can erase fusion's benefit
+  entirely — motivating partitioning as a companion transformation.
+* Fig. 25 — with partitioning everywhere, fused vs. unfused for tomcatv,
+  hydro2d and spem.  tomcatv improves ~10%, hydro2d starts near 20% and
+  dilutes as data fits, spem improves ~20% up to 8 processors and both
+  versions dip at 16 when the partition spans two hypernodes (remote
+  traffic).
+
+Applications are proxies (see DESIGN.md): the transformable sequences are
+simulated exactly; the untransformed remainder enters as an Amdahl term
+via each application's ``transformed_fraction``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..machine.specs import convex_spp1000
+from .common import AppPoint, format_table, setup_application
+
+CONVEX_PROCS = (1, 2, 4, 8, 12, 16)
+
+#: Per-application scaling: (dims_div, cache_div, params override).
+#: Applications use quadratic cache scaling where their short inner rows
+#: allow it; spem keeps its paper horizontal grid (67 points) with fewer
+#: vertical levels so its 3-D rows still fit cache partitions.
+APP_CONFIGS: dict[str, tuple[int, int, dict | None]] = {
+    "tomcatv": (2, 16, None),
+    "hydro2d": (4, 16, None),
+    "spem": (2, 4, {"n": 67, "p": 16}),
+}
+
+
+@dataclass(frozen=True)
+class Fig21Series:
+    app: str
+    num_procs: tuple[int, ...]
+    orig_partitioned: tuple[float, ...]
+    orig_contiguous: tuple[float, ...]
+    fused_contiguous: tuple[float, ...]
+
+    def format(self) -> str:
+        rows = [
+            (p, f"{a:.2f}", f"{b:.2f}", f"{c:.2f}")
+            for p, a, b, c in zip(
+                self.num_procs,
+                self.orig_partitioned,
+                self.orig_contiguous,
+                self.fused_contiguous,
+            )
+        ]
+        return f"{self.app}:\n" + format_table(
+            ["P", "orig w/ part.", "orig w/o part.", "fused w/o part."], rows
+        )
+
+
+@dataclass(frozen=True)
+class Fig21Result:
+    series: tuple[Fig21Series, ...]
+
+    def format(self) -> str:
+        return "\n\n".join(s.format() for s in self.series)
+
+
+#: Fig. 21 exercises the conflict pathology, so tomcatv uses an array
+#: extent whose footprint lands near a multiple of the cache way size
+#: (the paper's 513x513 arrays against the 1 MB direct-mapped cache):
+#: contiguously laid out arrays then partially map on top of each other.
+FIG21_PARAMS: dict[str, dict | None] = {"tomcatv": {"n": 251}, "hydro2d": None}
+
+
+def fig21(
+    apps: Sequence[str] = ("hydro2d", "tomcatv"),
+    proc_counts: Sequence[int] = CONVEX_PROCS,
+) -> Fig21Result:
+    machine = convex_spp1000()
+    out = []
+    for app in apps:
+        dd, cd, params = APP_CONFIGS[app]
+        params = FIG21_PARAMS.get(app, params) or params
+        part = setup_application(
+            app, machine, dd, "partitioned", cache_div=cd, params=params
+        )
+        cont = setup_application(
+            app, machine, dd, "contiguous", cache_div=cd, params=params
+        )
+        t1 = part.baseline_time()  # normalize all curves to the same base
+        part_times = part.app_times(proc_counts)
+        cont_times = cont.app_times(proc_counts)
+        out.append(
+            Fig21Series(
+                app=app,
+                num_procs=tuple(proc_counts),
+                orig_partitioned=tuple(t1 / t for _, t, _ in part_times),
+                orig_contiguous=tuple(t1 / t for _, t, _ in cont_times),
+                fused_contiguous=tuple(t1 / t for _, _, t in cont_times),
+            )
+        )
+    return Fig21Result(tuple(out))
+
+
+@dataclass(frozen=True)
+class Fig25Series:
+    app: str
+    points: tuple[AppPoint, ...]
+
+    def improvement_at(self, num_procs: int) -> float:
+        for p in self.points:
+            if p.num_procs == num_procs:
+                return p.improvement
+        raise KeyError(num_procs)
+
+    def dips_at(self, num_procs: int) -> bool:
+        """True when both curves fall below their previous point (the
+        hypernode-crossing dip of spem at 16 processors)."""
+        prev = None
+        for p in self.points:
+            if p.num_procs == num_procs and prev is not None:
+                return (
+                    p.speedup_fused < prev.speedup_fused
+                    and p.speedup_unfused < prev.speedup_unfused
+                )
+            prev = p
+        return False
+
+    def format(self) -> str:
+        rows = [
+            (
+                p.num_procs,
+                f"{p.speedup_unfused:.2f}",
+                f"{p.speedup_fused:.2f}",
+                f"{100 * (p.improvement - 1):+.1f}%",
+            )
+            for p in self.points
+        ]
+        return f"{self.app}:\n" + format_table(
+            ["P", "unfused", "fused", "improv"], rows
+        )
+
+
+@dataclass(frozen=True)
+class Fig25Result:
+    series: tuple[Fig25Series, ...]
+
+    def format(self) -> str:
+        return "\n\n".join(s.format() for s in self.series)
+
+
+def fig25(
+    apps: Sequence[str] = ("tomcatv", "hydro2d", "spem"),
+    proc_counts: Sequence[int] = CONVEX_PROCS,
+) -> Fig25Result:
+    machine = convex_spp1000()
+    out = []
+    for app in apps:
+        dd, cd, params = APP_CONFIGS[app]
+        exp = setup_application(
+            app, machine, dd, "partitioned", cache_div=cd, params=params
+        )
+        out.append(Fig25Series(app=app, points=tuple(exp.curves(proc_counts))))
+    return Fig25Result(tuple(out))

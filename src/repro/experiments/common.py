@@ -1,0 +1,296 @@
+"""Shared harness for the paper's experiments.
+
+Scaling rule (see DESIGN.md): kernels shrink array dimensions by
+``dims_div`` and cache capacity by the *same linear* factor — that
+preserves the rows-per-cache-partition ratio which governs the inter-nest
+reuse fusion exploits, while the total-data/cache ratio (and with it every
+fits-in-cache crossover) shifts to roughly (paper processor count) /
+``dims_div``.  Applications use quadratic cache scaling instead (their
+inner rows are short, so both ratios survive it).  Each figure module
+documents its own divisor, chosen so the paper's processor counts remain
+legal (Theorem 1 needs blocks of at least ``Nt`` iterations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..core.fuse import FusionResult, fuse_sequence
+from ..ir.sequence import LoopSequence, Program
+from ..kernels.base import KernelInfo, get_kernel
+from ..machine.memory import MemoryLayout, layout_from_decls
+from ..machine.simulator import (
+    RunMeasurement,
+    SpeedupPoint,
+    measure_fused,
+    measure_unfused,
+    speedup_series,
+)
+from ..machine.specs import MachineSpec
+from ..partition.greedy import partitioned_layout_from_decls
+
+
+def params_for(info: KernelInfo, dims_div: int) -> dict[str, int]:
+    """Concrete size parameters: the paper's array extents divided by
+    ``dims_div``, mapped onto the kernel's parameter names."""
+    elems = info.paper_array_elems
+    names = tuple(info.program().params)
+    if not elems:
+        raise ValueError(f"kernel {info.name} lacks paper array extents")
+    # +2 keeps trip counts (bounds are typically 2..n-1) at the scaled
+    # paper extent, so processor counts divide the iteration space evenly.
+    scaled = [max(16, e // dims_div) + 2 for e in elems]
+    if names == ("n",):
+        return {"n": scaled[0]}
+    if names == ("m", "n"):
+        return {"m": scaled[0], "n": scaled[1]}
+    if names == ("n", "p"):
+        # spem: (levels, lat, lon) -> lat/lon extent n, levels p.
+        return {"n": scaled[1], "p": max(4, elems[0] // dims_div)}
+    raise ValueError(f"unrecognized parameter names {names}")
+
+
+def make_layout(
+    program: Program,
+    params: Mapping[str, int],
+    machine: MachineSpec,
+    kind: str = "partitioned",
+    pad: int = 0,
+) -> MemoryLayout:
+    """Build the memory layout named by ``kind``: ``'contiguous'``,
+    ``'padded'`` (intra-array padding of ``pad`` elements) or
+    ``'partitioned'`` (greedy cache partitioning, Fig. 19)."""
+    if kind == "contiguous":
+        return layout_from_decls(program.arrays, params)
+    if kind == "padded":
+        return layout_from_decls(program.arrays, params, pad_inner=pad)
+    if kind == "partitioned":
+        return partitioned_layout_from_decls(
+            program.arrays, params, machine.cache
+        ).layout
+    raise ValueError(f"unknown layout kind {kind!r}")
+
+
+def choose_strip(
+    program: Program,
+    seq: LoopSequence,
+    params: Mapping[str, int],
+    machine: MachineSpec,
+    lo: int = 2,
+    hi: int = 256,
+) -> int:
+    """Strip size from the cache-partition size (Sec. 4): the data each
+    array streams per strip (strip x widest inner row) must fit one
+    partition."""
+    narrays = max(1, len(seq.arrays()))
+    partition = machine.cache.capacity_bytes // narrays
+    inner = 1
+    for nest in seq:
+        row = 1
+        for lp in nest.loops[1:]:
+            row *= max(1, lp.trip_count(params))
+        inner = max(inner, row)
+    elem = program.arrays[0].elem_size if program.arrays else 8
+    strip = partition // max(1, inner * elem)
+    return max(lo, min(hi, strip))
+
+
+@dataclass(frozen=True)
+class KernelExperiment:
+    """Everything needed to simulate one kernel at one scale."""
+
+    info: KernelInfo
+    program: Program
+    seq: LoopSequence
+    fusion: FusionResult
+    params: dict[str, int]
+    machine: MachineSpec
+    layout: MemoryLayout
+    strip: int
+
+    def exec_plan(self, num_procs: int):
+        return self.fusion.execution_plan(
+            self.params, grid_shape=(num_procs,) + (1,) * (self.fusion.depth - 1)
+        )
+
+    def max_procs(self) -> int:
+        return self.fusion.max_procs(self.params)[0]
+
+    def curves(
+        self, proc_counts: Sequence[int], warm: bool = True
+    ) -> list[SpeedupPoint]:
+        counts = [p for p in proc_counts if p <= self.max_procs()]
+        return speedup_series(
+            self.exec_plan,
+            self.seq,
+            self.params,
+            self.layout,
+            self.machine,
+            counts,
+            strip=self.strip,
+            warm=warm,
+        )
+
+
+def setup_kernel(
+    name: str,
+    machine: MachineSpec,
+    dims_div: int,
+    layout_kind: str = "partitioned",
+    pad: int = 0,
+    params: Mapping[str, int] | None = None,
+) -> KernelExperiment:
+    info = get_kernel(name)
+    program = info.program()
+    concrete = dict(params) if params is not None else params_for(info, dims_div)
+    scaled_machine = machine.scaled(dims_div) if dims_div > 1 else machine
+    seq = program.sequences[0]
+    fusion = fuse_sequence(seq, program.params, depth=info.fuse_depth)
+    layout = make_layout(program, concrete, scaled_machine, layout_kind, pad)
+    strip = choose_strip(program, seq, concrete, scaled_machine)
+    return KernelExperiment(
+        info=info,
+        program=program,
+        seq=fusion.sequence,
+        fusion=fusion,
+        params=concrete,
+        machine=scaled_machine,
+        layout=layout,
+        strip=strip,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Applications: several sequences + an untransformed parallel remainder.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppPoint:
+    num_procs: int
+    speedup_unfused: float
+    speedup_fused: float
+
+    @property
+    def improvement(self) -> float:
+        return self.speedup_fused / self.speedup_unfused
+
+
+@dataclass(frozen=True)
+class AppExperiment:
+    info: KernelInfo
+    program: Program
+    fusions: tuple[FusionResult, ...]
+    params: dict[str, int]
+    machine: MachineSpec
+    layout: MemoryLayout
+    strips: tuple[int, ...]
+
+    def _seq_times(self, num_procs: int) -> tuple[float, float]:
+        """(unfused, fused) total cycles over all transformed sequences."""
+        t_unf = 0.0
+        t_fus = 0.0
+        for fusion, strip in zip(self.fusions, self.strips):
+            seq = fusion.sequence
+            unf = measure_unfused(
+                seq, self.params, self.layout, self.machine, num_procs
+            )
+            legal = min(num_procs, fusion.max_procs(self.params)[0])
+            if legal == num_procs:
+                plan = fusion.execution_plan(self.params, num_procs=num_procs)
+                fus = measure_fused(
+                    plan, self.layout, self.machine, strip=strip
+                ).time_cycles
+            else:
+                fus = unf.time_cycles  # fusion not legal here: keep original
+            t_unf += unf.time_cycles
+            t_fus += fus
+        return t_unf, t_fus
+
+    def app_times(self, proc_counts: Sequence[int]) -> list[tuple[int, float, float]]:
+        """Raw whole-application times ``(P, unfused, fused)`` in cycles,
+        including the untransformed remainder (Amdahl term, perfectly
+        parallel and cache-neutral)."""
+        frac = self.info.transformed_fraction
+        base_unf, _ = self._seq_times(1)
+        other1 = base_unf * (1.0 - frac) / frac  # untransformed remainder
+        amp = self.info.remainder_remote_amp
+        out = []
+        for num_procs in proc_counts:
+            unf, fus = self._seq_times(num_procs)
+            other = other1 / num_procs
+            if amp:
+                other *= 1.0 + amp * self.machine.remote_fraction(num_procs)
+            out.append((num_procs, unf + other, fus + other))
+        return out
+
+    def baseline_time(self) -> float:
+        frac = self.info.transformed_fraction
+        base_unf, _ = self._seq_times(1)
+        return base_unf / frac
+
+    def curves(self, proc_counts: Sequence[int]) -> list[AppPoint]:
+        t1 = self.baseline_time()
+        points = []
+        for num_procs, t_unf, t_fus in self.app_times(proc_counts):
+            points.append(
+                AppPoint(
+                    num_procs=num_procs,
+                    speedup_unfused=t1 / t_unf,
+                    speedup_fused=t1 / t_fus,
+                )
+            )
+        return points
+
+
+def setup_application(
+    name: str,
+    machine: MachineSpec,
+    dims_div: int,
+    layout_kind: str = "partitioned",
+    cache_div: int | None = None,
+    params: Mapping[str, int] | None = None,
+) -> AppExperiment:
+    """Applications default to *quadratic* cache scaling (their inner rows
+    are short, so the rows-per-partition ratio survives it, and the
+    data-to-cache ratio of the paper is preserved exactly)."""
+    info = get_kernel(name)
+    program = info.program()
+    params = dict(params) if params is not None else params_for(info, dims_div)
+    cache_div = cache_div if cache_div is not None else dims_div * dims_div
+    scaled_machine = machine.scaled(cache_div) if cache_div > 1 else machine
+    layout = make_layout(program, params, scaled_machine, layout_kind)
+    fusions = tuple(
+        fuse_sequence(seq, program.params, depth=info.fuse_depth)
+        for seq in program.sequences
+    )
+    strips = tuple(
+        choose_strip(program, seq, params, scaled_machine)
+        for seq in program.sequences
+    )
+    return AppExperiment(
+        info=info,
+        program=program,
+        fusions=fusions,
+        params=params,
+        machine=scaled_machine,
+        layout=layout,
+        strips=strips,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Output formatting
+# ---------------------------------------------------------------------------
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[c]) for r in cells) for c in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

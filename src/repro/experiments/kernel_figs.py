@@ -1,0 +1,178 @@
+"""Figures 22, 23 and 24: kernel speedups, misses and size sensitivity.
+
+* Fig. 22 — LL18 and calc on the KSR2 up to 56 processors (512² arrays,
+  linear scale 2): fusion wins by ~10-30% at low-to-moderate processor
+  counts, the benefit diminishes as per-processor data begins to fit in
+  the caches, and the unfused version eventually wins.
+* Fig. 23 — LL18, calc (1024²) and filter (1602x640) on the Convex up to
+  16 processors: larger improvements than the KSR2 because the Convex's
+  miss penalty relative to compute is higher.
+* Fig. 24 — relative improvement from fusion as array size varies, at 8
+  and 16 processors: below the cache-capacity threshold fusion stops
+  paying; LL18 (9 arrays) keeps benefiting at sizes where calc (6 arrays)
+  no longer does.
+
+Legality bound: calc's threshold ``Nt = 7`` caps its processor count at
+``trip/7``; sweeps clip to the legal maximum (the paper's full-size runs
+had proportionally larger trips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..machine.simulator import SpeedupPoint, measure_fused, measure_unfused
+from ..machine.specs import convex_spp1000, ksr2
+from .common import format_table, setup_kernel
+
+KSR2_PROCS = (1, 2, 4, 8, 16, 24, 32, 40, 48, 56)
+CONVEX_PROCS = (1, 2, 4, 8, 12, 16)
+
+
+@dataclass(frozen=True)
+class KernelCurves:
+    kernel: str
+    machine: str
+    points: tuple[SpeedupPoint, ...]
+
+    def crossover(self) -> int | None:
+        """First processor count where the unfused version wins."""
+        for p in self.points:
+            if p.improvement < 1.0 and p.num_procs > 1:
+                return p.num_procs
+        return None
+
+    def max_improvement(self) -> float:
+        return max(p.improvement for p in self.points)
+
+    def format(self) -> str:
+        rows = [
+            (
+                p.num_procs,
+                f"{p.speedup_unfused:.2f}",
+                f"{p.speedup_fused:.2f}",
+                f"{100 * (p.improvement - 1):+.1f}%",
+                p.misses_unfused,
+                p.misses_fused,
+            )
+            for p in self.points
+        ]
+        table = format_table(
+            ["P", "speedup unfused", "speedup fused", "improv", "misses unf", "misses fus"],
+            rows,
+        )
+        return f"{self.kernel} on {self.machine}:\n{table}"
+
+
+@dataclass(frozen=True)
+class MultiCurves:
+    curves: tuple[KernelCurves, ...]
+
+    def format(self) -> str:
+        return "\n\n".join(c.format() for c in self.curves)
+
+    def __iter__(self):
+        return iter(self.curves)
+
+
+def fig22(proc_counts: Sequence[int] = KSR2_PROCS) -> MultiCurves:
+    """Kernel speedup and misses on the KSR2 (scale 2 of 512² arrays)."""
+    machine = ksr2()
+    out = []
+    for name in ("ll18", "calc"):
+        exp = setup_kernel(name, machine, dims_div=2)
+        pts = exp.curves(proc_counts)
+        out.append(KernelCurves(name, exp.machine.name, tuple(pts)))
+    return MultiCurves(tuple(out))
+
+
+def fig23(proc_counts: Sequence[int] = CONVEX_PROCS) -> MultiCurves:
+    """Kernel speedup and misses on the Convex.
+
+    LL18/calc use 1024² arrays in the paper; the scale-3 equivalents keep
+    the data-to-cache ratios that make fusion profitable through 16
+    processors (calc's smaller array count needs the slightly larger grid
+    to preserve its paper ratio — see EXPERIMENTS.md)."""
+    machine = convex_spp1000()
+    configs = (
+        ("ll18", {"n": 1024 // 3 + 2}, 3),
+        ("calc", {"n": 460}, 3),
+        ("filter", None, 4),
+    )
+    out = []
+    for name, params, div in configs:
+        exp = setup_kernel(name, machine, dims_div=div, params=params)
+        pts = exp.curves(proc_counts)
+        out.append(KernelCurves(name, exp.machine.name, tuple(pts)))
+    return MultiCurves(tuple(out))
+
+
+@dataclass(frozen=True)
+class SizePoint:
+    kernel: str
+    array_dim: int
+    num_procs: int
+    improvement: float  # ratio of unfused to fused execution time
+
+
+@dataclass(frozen=True)
+class Fig24Result:
+    points: tuple[SizePoint, ...]
+
+    def improvement(self, kernel: str, dim: int, procs: int) -> float | None:
+        """Improvement ratio, or None when the point is not legal at the
+        scaled size (Theorem 1's block-size bound)."""
+        for p in self.points:
+            if (p.kernel, p.array_dim, p.num_procs) == (kernel, dim, procs):
+                return p.improvement
+        return None
+
+    def format(self) -> str:
+        procs = sorted({p.num_procs for p in self.points})
+        dims = sorted({p.array_dim for p in self.points})
+        kernels = sorted({p.kernel for p in self.points})
+        blocks = []
+        for np_ in procs:
+            rows = []
+            for k in kernels:
+                cells = []
+                for d in dims:
+                    value = self.improvement(k, d, np_)
+                    cells.append("-" if value is None else f"{value:.2f}")
+                rows.append([k] + cells)
+            table = format_table(["kernel"] + [f"{d}^2" for d in dims], rows)
+            blocks.append(f"{np_} processors:\n{table}")
+        return "\n\n".join(blocks)
+
+
+def fig24(
+    array_dims: Sequence[int] = (64, 128, 256),
+    proc_counts: Sequence[int] = (8, 16),
+) -> Fig24Result:
+    """Improvement from fusion vs. array size (paper sizes 256/512/1024
+    squared, scale 4) for LL18 (9 arrays) and calc (6 arrays) on the
+    Convex.  Values above 1.0 mean fusion improves performance."""
+    machine = convex_spp1000()
+    points = []
+    for name in ("ll18", "calc"):
+        for dim in array_dims:
+            exp = setup_kernel(name, machine, dims_div=4, params={"n": dim + 2})
+            for np_ in proc_counts:
+                if np_ > exp.max_procs():
+                    continue
+                unf = measure_unfused(
+                    exp.seq, exp.params, exp.layout, exp.machine, np_
+                )
+                fus = measure_fused(
+                    exp.exec_plan(np_), exp.layout, exp.machine, strip=exp.strip
+                )
+                points.append(
+                    SizePoint(
+                        kernel=name,
+                        array_dim=dim,
+                        num_procs=np_,
+                        improvement=unf.time_cycles / fus.time_cycles,
+                    )
+                )
+    return Fig24Result(tuple(points))

@@ -1,0 +1,136 @@
+"""Figures 18 and 20: cache misses under padding vs. cache partitioning.
+
+LL18's fused loop references nine arrays; with a conventional contiguous
+layout all nine map on top of each other in the cache.  The experiments
+sweep the intra-array padding amount (1..21 elements) and compare against
+the single layout produced by the greedy cache-partitioning algorithm:
+
+* Fig. 18 — fused LL18, padding sweep vs. partitioning (one machine).
+* Fig. 20 — unfused+padding, fused+padding and fused+partitioning on both
+  the KSR2 (2-way) and the Convex (direct-mapped).
+
+The paper's observations to reproduce: padding behaves erratically, can
+even lose fusion's whole benefit, while partitioning sits at (or below)
+the padding sweep's minimum — predictably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..machine.simulator import measure_fused, measure_unfused
+from ..machine.specs import MachineSpec, convex_spp1000, ksr2
+from ..partition.padding import padding_sweep
+from .common import format_table, setup_kernel
+
+#: Scaled LL18 size for the padding experiments (paper: 512x512, /4).
+#: The parameter makes the declared array extents exactly 128 (a power of
+#: two, like the paper's 512) — the worst case for self/cross conflicts,
+#: where unpadded arrays all map on top of each other.
+DIMS_DIV = 4
+PARAMS = {"n": 127}
+
+
+@dataclass(frozen=True)
+class PaddingSeries:
+    machine: str
+    pads: tuple[int, ...]
+    misses_unfused_padding: tuple[int, ...]
+    misses_fused_padding: tuple[int, ...]
+    misses_fused_partitioning: int
+    misses_unfused_partitioning: int
+
+    @property
+    def padding_min(self) -> int:
+        return min(self.misses_fused_padding)
+
+    @property
+    def padding_max(self) -> int:
+        return max(self.misses_fused_padding)
+
+    @property
+    def erratic_ratio(self) -> float:
+        """Spread of the padding sweep (erratic behaviour indicator)."""
+        return self.padding_max / max(1, self.padding_min)
+
+    def partitioning_at_or_below_min(self, slack: float = 1.05) -> bool:
+        return self.misses_fused_partitioning <= self.padding_min * slack
+
+    def format(self) -> str:
+        rows = [
+            (pad, uf, f)
+            for pad, uf, f in zip(
+                self.pads, self.misses_unfused_padding, self.misses_fused_padding
+            )
+        ]
+        table = format_table(["pad", "unfused misses", "fused misses"], rows)
+        return (
+            f"{self.machine}: cache partitioning misses "
+            f"fused={self.misses_fused_partitioning} "
+            f"unfused={self.misses_unfused_partitioning}\n{table}"
+        )
+
+
+def padding_comparison(
+    machine: MachineSpec,
+    pads: Sequence[int] | None = None,
+    num_procs: int = 1,
+    kernel: str = "ll18",
+) -> PaddingSeries:
+    pads = tuple(pads) if pads is not None else (0,) + tuple(padding_sweep())
+    unfused_pad = []
+    fused_pad = []
+    for pad in pads:
+        exp = setup_kernel(
+            kernel, machine, DIMS_DIV, layout_kind="padded", pad=pad, params=PARAMS
+        )
+        unfused_pad.append(
+            measure_unfused(
+                exp.seq, exp.params, exp.layout, exp.machine, num_procs
+            ).misses
+        )
+        fused_pad.append(
+            measure_fused(
+                exp.exec_plan(num_procs), exp.layout, exp.machine, strip=exp.strip
+            ).misses
+        )
+    part = setup_kernel(
+        kernel, machine, DIMS_DIV, layout_kind="partitioned", params=PARAMS
+    )
+    fused_part = measure_fused(
+        part.exec_plan(num_procs), part.layout, part.machine, strip=part.strip
+    ).misses
+    unfused_part = measure_unfused(
+        part.seq, part.params, part.layout, part.machine, num_procs
+    ).misses
+    return PaddingSeries(
+        machine=machine.name,
+        pads=pads,
+        misses_unfused_padding=tuple(unfused_pad),
+        misses_fused_padding=tuple(fused_pad),
+        misses_fused_partitioning=fused_part,
+        misses_unfused_partitioning=unfused_part,
+    )
+
+
+def fig18(pads: Sequence[int] | None = None) -> PaddingSeries:
+    """Misses vs. padding for the fused LL18 loop (Sec. 4's motivating
+    measurement; direct-mapped Convex cache shows the effect starkest)."""
+    return padding_comparison(convex_spp1000(), pads)
+
+
+@dataclass(frozen=True)
+class Fig20Result:
+    ksr2: PaddingSeries
+    convex: PaddingSeries
+
+    def format(self) -> str:
+        return f"{self.ksr2.format()}\n\n{self.convex.format()}"
+
+
+def fig20(pads: Sequence[int] | None = None) -> Fig20Result:
+    return Fig20Result(
+        ksr2=padding_comparison(ksr2(), pads),
+        convex=padding_comparison(convex_spp1000(), pads),
+    )

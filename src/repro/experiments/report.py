@@ -1,0 +1,180 @@
+"""Consolidated reproduction report: every table/figure in one run.
+
+``generate_report()`` regenerates the full evaluation and returns one text
+document (the content behind EXPERIMENTS.md); ``quick=True`` shrinks the
+sweeps for CI-speed smoke runs.  The report also records the qualitative
+checks (the same assertions the benchmarks make) so a reader can see at a
+glance which paper claims hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .alignment_fig import fig26
+from .app_figs import fig21, fig25
+from .jacobi_fig import fig15_16
+from .kernel_figs import fig22, fig23, fig24
+from .padding_figs import fig18, fig20
+from .tables import table1, table2
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    name: str
+    text: str
+    checks: tuple[tuple[str, bool], ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(passed for _, passed in self.checks)
+
+
+@dataclass(frozen=True)
+class Report:
+    sections: tuple[SectionResult, ...]
+
+    @property
+    def all_ok(self) -> bool:
+        return all(s.ok for s in self.sections)
+
+    def format(self) -> str:
+        blocks = []
+        for s in self.sections:
+            marks = "\n".join(
+                f"  [{'x' if passed else ' '}] {claim}" for claim, passed in s.checks
+            )
+            blocks.append(f"## {s.name}\n{s.text}\n\nclaims:\n{marks}")
+        verdict = "ALL CLAIMS REPRODUCED" if self.all_ok else "SOME CLAIMS FAILED"
+        return f"# Reproduction report — {verdict}\n\n" + "\n\n".join(blocks)
+
+
+def generate_report(quick: bool = True) -> Report:
+    sections: list[SectionResult] = []
+
+    t1 = table1()
+    sections.append(
+        SectionResult(
+            "Table 1",
+            t1.format(),
+            (("all inventory rows match the paper",
+              all(r.matches_paper for r in t1.rows)),),
+        )
+    )
+
+    t2 = table2()
+    sections.append(
+        SectionResult(
+            "Table 2",
+            t2.format(),
+            (("derived shifts/peels match the paper exactly", t2.all_match()),),
+        )
+    )
+
+    pads = (0, 1, 9, 17) if quick else None
+    f18 = fig18(pads=pads)
+    sections.append(
+        SectionResult(
+            "Fig. 18",
+            f18.format(),
+            (
+                ("padding behaves erratically", f18.erratic_ratio > 2),
+                ("partitioning at/below the padding minimum",
+                 f18.partitioning_at_or_below_min()),
+            ),
+        )
+    )
+
+    procs22 = (1, 4, 16, 32, 56) if quick else None
+    f22 = fig22(proc_counts=procs22) if procs22 else fig22()
+    curves22 = {c.kernel: c for c in f22}
+    sections.append(
+        SectionResult(
+            "Fig. 22 (KSR2)",
+            f22.format(),
+            (
+                ("fusion wins at low processor counts",
+                 curves22["ll18"].points[0].improvement > 1.05),
+                ("a crossover exists for both kernels",
+                 curves22["ll18"].crossover() is not None
+                 and curves22["calc"].crossover() is not None),
+                ("calc (6 arrays) crosses no later than LL18 (9 arrays)",
+                 curves22["calc"].crossover() <= curves22["ll18"].crossover()),
+            ),
+        )
+    )
+
+    procs23 = (1, 8, 16) if quick else None
+    f23 = fig23(proc_counts=procs23) if procs23 else fig23()
+    curves23 = {c.kernel: c for c in f23}
+    sections.append(
+        SectionResult(
+            "Fig. 23 (Convex)",
+            f23.format(),
+            (
+                ("larger improvements than on the KSR2",
+                 curves23["ll18"].max_improvement()
+                 > curves22["ll18"].max_improvement()),
+                ("LL18 positive through 16 processors",
+                 all(p.improvement > 1.0 for p in curves23["ll18"].points)),
+            ),
+        )
+    )
+
+    f24 = fig24(array_dims=(64, 256), proc_counts=(8,)) if quick else fig24()
+    sections.append(
+        SectionResult(
+            "Fig. 24",
+            f24.format(),
+            (
+                ("fusion pays only once data exceeds the caches",
+                 f24.improvement("ll18", 256, 8) > f24.improvement("ll18", 64, 8)),
+            ),
+        )
+    )
+
+    procs_app = (1, 8, 12, 16) if quick else None
+    f25 = fig25(proc_counts=procs_app) if procs_app else fig25()
+    series25 = {s.app: s for s in f25.series}
+    sections.append(
+        SectionResult(
+            "Fig. 25 (applications)",
+            f25.format(),
+            (
+                ("tomcatv improves consistently",
+                 all(p.improvement > 1.05 for p in series25["tomcatv"].points)),
+                ("spem dips past one hypernode",
+                 series25["spem"].dips_at(12) or series25["spem"].dips_at(16)),
+            ),
+        )
+    )
+
+    f26 = fig26(ksr2_procs=(1, 8, 32), convex_procs=(1, 8)) if quick else fig26()
+    sections.append(
+        SectionResult(
+            "Fig. 26 (vs alignment/replication)",
+            f26.format(),
+            (
+                ("peeling wins everywhere",
+                 all(s.peeling_wins_everywhere() for s in f26.series)),
+                ("LL18 replicates exactly 2 arrays + 2 statements",
+                 all(len(s.replicated_arrays) == 2
+                     and s.replicated_statements == 2 for s in f26.series)),
+            ),
+        )
+    )
+
+    fj = fig15_16(grids=((1, 1), (2, 2)))
+    sections.append(
+        SectionResult(
+            "Figs. 15/16 (Jacobi)",
+            fj.format().split("generated SPMD code:")[0].rstrip(),
+            (
+                ("derived 2-D shift/peel = (1,1)/(1,1)",
+                 fj.shifts == ((0, 0), (1, 1)) and fj.peels == ((0, 0), (1, 1))),
+            ),
+        )
+    )
+
+    return Report(tuple(sections))

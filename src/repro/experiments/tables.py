@@ -1,0 +1,122 @@
+"""Tables 1 and 2: workload inventory and derived shift/peel amounts.
+
+Table 1 reports, per kernel/application, the number of transformable loop
+sequences, the longest sequence and the maximum shift/peel.  Table 2 lists
+the per-loop shift and peel amounts for the three kernels.  Everything here
+is *derived* by the dependence analysis and traversal algorithms — the
+paper's published values live in the kernel metadata purely as expectations
+to compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.fuse import fuse_sequence
+from ..kernels.base import all_kernels, get_kernel
+from .common import format_table
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    name: str
+    description: str
+    num_sequences: int
+    longest_sequence: int
+    max_shift: int
+    max_peel: int
+    matches_paper: bool
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+
+    def format(self) -> str:
+        return format_table(
+            ["Name", "Description", "Seqs", "Longest", "Max shift/peel", "Paper?"],
+            [
+                (
+                    r.name,
+                    r.description,
+                    r.num_sequences,
+                    r.longest_sequence,
+                    f"{r.max_shift}/{r.max_peel}",
+                    "yes" if r.matches_paper else "NO",
+                )
+                for r in self.rows
+            ],
+        )
+
+
+def table1() -> Table1Result:
+    rows = []
+    for info in sorted(all_kernels(), key=lambda k: k.name):
+        program = info.program()
+        max_shift = 0
+        max_peel = 0
+        longest = 0
+        for seq in program.sequences:
+            result = fuse_sequence(seq, program.params, depth=info.fuse_depth)
+            longest = max(longest, len(seq))
+            for k in range(len(seq)):
+                max_shift = max(max_shift, result.plan.shift(k, 0))
+                max_peel = max(max_peel, result.plan.peel(k, 0))
+        matches = (
+            len(program.sequences) == info.num_sequences
+            and longest == info.longest_sequence
+            and max_shift == info.max_shift
+            and max_peel == info.max_peel
+        )
+        rows.append(
+            Table1Row(
+                name=info.name,
+                description=info.description,
+                num_sequences=len(program.sequences),
+                longest_sequence=longest,
+                max_shift=max_shift,
+                max_peel=max_peel,
+                matches_paper=matches,
+            )
+        )
+    return Table1Result(tuple(rows))
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    kernels: tuple[str, ...]
+    derived: dict[str, tuple[tuple[int, ...], tuple[int, ...]]]
+    expected: dict[str, tuple[tuple[int, ...], tuple[int, ...]]]
+
+    def matches(self, name: str) -> bool:
+        return self.derived[name] == self.expected[name]
+
+    def all_match(self) -> bool:
+        return all(self.matches(k) for k in self.kernels)
+
+    def format(self) -> str:
+        blocks = []
+        for name in self.kernels:
+            shifts, peels = self.derived[name]
+            rows = [
+                (loop + 1, s, p) for loop, (s, p) in enumerate(zip(shifts, peels))
+            ]
+            table = format_table(["Loop", "shifts", "peels"], rows)
+            verdict = "matches paper" if self.matches(name) else "MISMATCH"
+            blocks.append(f"{name} ({verdict}):\n{table}")
+        return "\n\n".join(blocks)
+
+
+def table2(kernel_names=("ll18", "calc", "filter")) -> Table2Result:
+    derived = {}
+    expected = {}
+    for name in kernel_names:
+        info = get_kernel(name)
+        program = info.program()
+        seq = program.sequences[0]
+        result = fuse_sequence(seq, program.params, depth=info.fuse_depth)
+        shifts = tuple(result.plan.shift(k, 0) for k in range(len(seq)))
+        peels = tuple(result.plan.peel(k, 0) for k in range(len(seq)))
+        derived[name] = (shifts, peels)
+        expected[name] = (info.paper_shifts, info.paper_peels)
+    return Table2Result(tuple(kernel_names), derived, expected)

@@ -1,0 +1,68 @@
+"""Array references with affine subscripts.
+
+A reference ``A[f(i)]`` is ``f(i) = h_A . i + c`` where ``h_A`` is the
+``k x l`` access matrix (array dimensionality ``k`` by loop depth ``l``)
+and ``c`` the constant offset vector — the representation used by the
+paper's compatibility condition for cache partitioning (Sec. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .expr import Affine, as_affine
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A subscripted reference to ``array`` with one affine per dimension."""
+
+    array: str
+    subscripts: tuple[Affine, ...]
+
+    @staticmethod
+    def make(array: str, *subscripts: "Affine | int | str") -> "ArrayRef":
+        return ArrayRef(array, tuple(as_affine(s) for s in subscripts))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.subscripts)
+
+    def access_matrix(self, loop_vars: Sequence[str]) -> tuple[tuple[int, ...], ...]:
+        """The ``h`` matrix: rows = array dims, cols = loop variables."""
+        return tuple(
+            tuple(sub.coeff(v) for v in loop_vars) for sub in self.subscripts
+        )
+
+    def offset_vector(self) -> tuple[int, ...]:
+        """The constant offset ``c`` of each subscript."""
+        return tuple(sub.const for sub in self.subscripts)
+
+    def index_tuple(self, env: Mapping[str, int]) -> tuple[int, ...]:
+        return tuple(sub.eval(env) for sub in self.subscripts)
+
+    def shift_var(self, name: str, delta: int) -> "ArrayRef":
+        return ArrayRef(
+            self.array, tuple(s.shift_var(name, delta) for s in self.subscripts)
+        )
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "ArrayRef":
+        return ArrayRef(self.array, tuple(s.rename(mapping) for s in self.subscripts))
+
+    def uses_only(self, names: Sequence[str]) -> bool:
+        return all(s.uses_only(names) for s in self.subscripts)
+
+    def __str__(self) -> str:
+        return f"{self.array}[{','.join(str(s) for s in self.subscripts)}]"
+
+
+def compatible(
+    ref_a: ArrayRef, ref_b: ArrayRef, loop_vars: Sequence[str]
+) -> bool:
+    """Paper Sec. 4: references are *compatible* iff ``h_A == h_B``.
+
+    Compatibility guarantees cache partitions drift through the cache in
+    lockstep and never overlap once the starting addresses are partitioned.
+    """
+    return ref_a.access_matrix(loop_vars) == ref_b.access_matrix(loop_vars)

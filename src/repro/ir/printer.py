@@ -1,0 +1,59 @@
+"""Pretty-printing of the IR as Fortran-like ``do/doall`` pseudo-code.
+
+The printed form round-trips through :mod:`repro.lang` (the parser accepts
+exactly this syntax), which is what makes the package a true
+source-to-source transformer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .loop import LoopNest
+from .sequence import LoopSequence, Program
+
+
+INDENT = "    "
+
+
+def format_nest(nest: LoopNest, indent: int = 0) -> str:
+    lines: list[str] = []
+    pad = INDENT * indent
+    for level, lp in enumerate(nest.loops):
+        lines.append(f"{INDENT * (indent + level)}{lp}")
+    body_pad = INDENT * (indent + nest.depth)
+    for st in nest.body:
+        lines.append(f"{body_pad}{st}")
+    for level in reversed(range(nest.depth)):
+        lines.append(f"{INDENT * (indent + level)}end do")
+    return "\n".join(lines)
+
+
+def format_sequence(seq: LoopSequence) -> str:
+    return "\n".join(format_nest(nest) for nest in seq)
+
+
+def format_program(program: Program) -> str:
+    lines = [f"! program {program.name}"]
+    if program.params:
+        lines.append(f"param {', '.join(program.params)}")
+    for decl in program.arrays:
+        dims = ",".join(str(s) for s in decl.shape)
+        lines.append(f"real {decl.name}({dims})")
+    for seq in program.sequences:
+        lines.append(f"! sequence {seq.name}")
+        lines.append(format_sequence(seq))
+    return "\n".join(lines)
+
+
+def side_by_side(left: str, right: str, gutter: str = "  |  ") -> str:
+    """Two code listings side by side (used by examples for before/after)."""
+    lls = left.splitlines() or [""]
+    rls = right.splitlines() or [""]
+    width = max(len(line) for line in lls)
+    out = []
+    for idx in range(max(len(lls), len(rls))):
+        lline = lls[idx] if idx < len(lls) else ""
+        rline = rls[idx] if idx < len(rls) else ""
+        out.append(f"{lline.ljust(width)}{gutter}{rline}")
+    return "\n".join(out)

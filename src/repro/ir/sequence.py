@@ -1,0 +1,147 @@
+"""Loop sequences and whole programs.
+
+A :class:`LoopSequence` is the paper's *admissible parallel loop sequence*
+(Appendix Def. 1): adjacent loop nests with no intervening code, which are
+the candidates for fusion.  A :class:`Program` owns array declarations,
+symbolic size parameters, and a list of loop sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .expr import Affine, as_affine
+from .loop import LoopNest
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """Declaration of an array: name, symbolic shape, element size in bytes."""
+
+    name: str
+    shape: tuple[Affine, ...]
+    elem_size: int = 8  # double precision, as in the paper's Fortran codes
+
+    @staticmethod
+    def make(name: str, *shape: "Affine | int | str", elem_size: int = 8) -> "ArrayDecl":
+        return ArrayDecl(name, tuple(as_affine(s) for s in shape), elem_size)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def concrete_shape(self, params: Mapping[str, int]) -> tuple[int, ...]:
+        return tuple(s.eval(params) for s in self.shape)
+
+    def size_elems(self, params: Mapping[str, int]) -> int:
+        total = 1
+        for extent in self.concrete_shape(params):
+            total *= extent
+        return total
+
+    def size_bytes(self, params: Mapping[str, int]) -> int:
+        return self.size_elems(params) * self.elem_size
+
+    def allocate(self, params: Mapping[str, int], fill: float = 0.0) -> np.ndarray:
+        return np.full(self.concrete_shape(params), fill, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class LoopSequence:
+    """An ordered sequence of adjacent loop nests considered for fusion."""
+
+    nests: tuple[LoopNest, ...]
+    name: str = "seq"
+
+    def __post_init__(self) -> None:
+        if not self.nests:
+            raise ValueError("loop sequence must contain at least one nest")
+        named = tuple(
+            nest if nest.name else nest.with_name(f"L{k + 1}")
+            for k, nest in enumerate(self.nests)
+        )
+        object.__setattr__(self, "nests", named)
+
+    def __len__(self) -> int:
+        return len(self.nests)
+
+    def __iter__(self):
+        return iter(self.nests)
+
+    def __getitem__(self, idx: int) -> LoopNest:
+        return self.nests[idx]
+
+    def arrays(self) -> set[str]:
+        out: set[str] = set()
+        for nest in self.nests:
+            out |= nest.arrays()
+        return out
+
+    def common_depth(self) -> int:
+        return min(nest.depth for nest in self.nests)
+
+    def fusable_depth(self) -> int:
+        """Number of outer levels that can be fused: bounded by the common
+        parallel depth across all nests."""
+        return min(
+            min(nest.parallel_depth(), nest.depth) for nest in self.nests
+        ) or min(nest.depth for nest in self.nests)
+
+
+@dataclass(frozen=True)
+class Program:
+    """Array declarations + parameters + loop sequences (paper Fig. 2)."""
+
+    arrays: tuple[ArrayDecl, ...]
+    sequences: tuple[LoopSequence, ...]
+    params: tuple[str, ...] = ("n",)
+    name: str = "program"
+
+    def array(self, name: str) -> ArrayDecl:
+        for decl in self.arrays:
+            if decl.name == name:
+                return decl
+        raise KeyError(name)
+
+    def array_names(self) -> tuple[str, ...]:
+        return tuple(decl.name for decl in self.arrays)
+
+    def sequence(self, name: str) -> LoopSequence:
+        for seq in self.sequences:
+            if seq.name == name:
+                return seq
+        raise KeyError(name)
+
+    def allocate_arrays(
+        self, params: Mapping[str, int], rng: "np.random.Generator | None" = None
+    ) -> dict[str, np.ndarray]:
+        """Allocate all arrays; random init when ``rng`` is given (stable
+        per-array streams so oracle/transformed runs start identical)."""
+        out: dict[str, np.ndarray] = {}
+        for decl in self.arrays:
+            arr = decl.allocate(params)
+            if rng is not None:
+                arr[...] = rng.random(arr.shape)
+            out[decl.name] = arr
+        return out
+
+    def total_data_bytes(self, params: Mapping[str, int]) -> int:
+        return sum(decl.size_bytes(params) for decl in self.arrays)
+
+
+def single_sequence_program(
+    nests: Iterable[LoopNest],
+    arrays: Iterable[ArrayDecl],
+    params: Sequence[str] = ("n",),
+    name: str = "program",
+) -> Program:
+    """Convenience constructor for the common one-sequence case."""
+    return Program(
+        arrays=tuple(arrays),
+        sequences=(LoopSequence(tuple(nests), name=f"{name}.seq"),),
+        params=tuple(params),
+        name=name,
+    )

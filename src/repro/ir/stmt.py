@@ -1,0 +1,225 @@
+"""Statements and right-hand-side expression trees.
+
+The program model (paper Fig. 2) is a sequence of loop nests whose bodies
+are assignments ``A[f(i)] = expr`` where ``expr`` combines array loads with
+arithmetic.  The expression tree is deliberately small: loads, constants,
+parameters and binary/unary arithmetic — enough to express every kernel in
+the paper's evaluation (stencils, averages, scaled updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from .access import ArrayRef
+from .expr import Affine, as_affine
+
+
+class Expr:
+    """Base class for RHS expressions."""
+
+    def loads(self) -> Iterator[ArrayRef]:
+        raise NotImplementedError
+
+    def shift_var(self, name: str, delta: int) -> "Expr":
+        raise NotImplementedError
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "Expr":
+        raise NotImplementedError
+
+    def eval(self, env: Mapping[str, float], arrays: Mapping[str, object]) -> float:
+        raise NotImplementedError
+
+    # operator sugar so kernels read naturally --------------------------------
+
+    def __add__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("+", self, as_expr(other))
+
+    def __radd__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("+", as_expr(other), self)
+
+    def __sub__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("-", self, as_expr(other))
+
+    def __rsub__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("-", as_expr(other), self)
+
+    def __mul__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("*", self, as_expr(other))
+
+    def __rmul__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("*", as_expr(other), self)
+
+    def __truediv__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("/", self, as_expr(other))
+
+    def __rtruediv__(self, other: "Expr | float | int") -> "Expr":
+        return BinOp("/", as_expr(other), self)
+
+    def __neg__(self) -> "Expr":
+        return UnaryOp("-", self)
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: float
+
+    def loads(self) -> Iterator[ArrayRef]:
+        return iter(())
+
+    def shift_var(self, name: str, delta: int) -> "Const":
+        return self
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "Const":
+        return self
+
+    def eval(self, env, arrays) -> float:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    ref: ArrayRef
+
+    def loads(self) -> Iterator[ArrayRef]:
+        yield self.ref
+
+    def shift_var(self, name: str, delta: int) -> "Load":
+        return Load(self.ref.shift_var(name, delta))
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "Load":
+        return Load(self.ref.rename_vars(mapping))
+
+    def eval(self, env, arrays) -> float:
+        return arrays[self.ref.array][self.ref.index_tuple(env)]
+
+    def __str__(self) -> str:
+        return str(self.ref)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+    def loads(self) -> Iterator[ArrayRef]:
+        yield from self.left.loads()
+        yield from self.right.loads()
+
+    def shift_var(self, name: str, delta: int) -> "BinOp":
+        return BinOp(
+            self.op, self.left.shift_var(name, delta), self.right.shift_var(name, delta)
+        )
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "BinOp":
+        return BinOp(
+            self.op, self.left.rename_vars(mapping), self.right.rename_vars(mapping)
+        )
+
+    def eval(self, env, arrays) -> float:
+        a = self.left.eval(env, arrays)
+        b = self.right.eval(env, arrays)
+        if self.op == "+":
+            return a + b
+        if self.op == "-":
+            return a - b
+        if self.op == "*":
+            return a * b
+        return a / b
+
+    def __str__(self) -> str:
+        return f"({self.left}{self.op}{self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op != "-":
+            raise ValueError(f"unsupported unary operator {self.op!r}")
+
+    def loads(self) -> Iterator[ArrayRef]:
+        yield from self.operand.loads()
+
+    def shift_var(self, name: str, delta: int) -> "UnaryOp":
+        return UnaryOp(self.op, self.operand.shift_var(name, delta))
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "UnaryOp":
+        return UnaryOp(self.op, self.operand.rename_vars(mapping))
+
+    def eval(self, env, arrays) -> float:
+        return -self.operand.eval(env, arrays)
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+def as_expr(value: "Expr | float | int | ArrayRef") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, ArrayRef):
+        return Load(value)
+    if isinstance(value, (int, float)):
+        return Const(float(value))
+    raise TypeError(f"cannot coerce {value!r} to an expression")
+
+
+def load(array: str, *subscripts: "Affine | int | str") -> Load:
+    """Convenience constructor: ``load('a', i + 1)`` -> ``a[i+1]``."""
+    return Load(ArrayRef.make(array, *(as_affine(s) for s in subscripts)))
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``target = rhs``; the only statement form in loop bodies."""
+
+    target: ArrayRef
+    rhs: Expr
+
+    def reads(self) -> tuple[ArrayRef, ...]:
+        return tuple(self.rhs.loads())
+
+    def writes(self) -> tuple[ArrayRef, ...]:
+        return (self.target,)
+
+    def refs(self) -> tuple[ArrayRef, ...]:
+        return self.reads() + self.writes()
+
+    def arrays(self) -> set[str]:
+        return {r.array for r in self.refs()}
+
+    def shift_var(self, name: str, delta: int) -> "Assign":
+        return Assign(
+            self.target.shift_var(name, delta), self.rhs.shift_var(name, delta)
+        )
+
+    def rename_vars(self, mapping: Mapping[str, str]) -> "Assign":
+        return Assign(
+            self.target.rename_vars(mapping), self.rhs.rename_vars(mapping)
+        )
+
+    def execute(self, env: Mapping[str, int], arrays: Mapping[str, object]) -> None:
+        arrays[self.target.array][self.target.index_tuple(env)] = self.rhs.eval(
+            env, arrays
+        )
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.rhs}"
+
+
+def assign(array: str, subscripts, rhs: "Expr | float | int | ArrayRef") -> Assign:
+    """Convenience constructor accepting a subscript or tuple of subscripts."""
+    if not isinstance(subscripts, (tuple, list)):
+        subscripts = (subscripts,)
+    return Assign(ArrayRef.make(array, *subscripts), as_expr(rhs))

@@ -1,0 +1,226 @@
+"""Elementary loop transformations at the IR level.
+
+Shift-and-peel composes with the classic toolbox (Sec. 2.4 situates it
+among permutation, tiling, distribution, strip-mining).  This module
+implements the ones useful around fusion:
+
+* **distribution** — split a multi-statement nest into a sequence of
+  smaller nests (the inverse of fusion; Kennedy & McKinley drive locality
+  with fusion *and* distribution).  Statements are grouped by strongly
+  connected components of the statement-level dependence graph, emitted in
+  topological order, so distribution is always legal.
+* **interchange** — swap two loop levels (legality: no dependence with
+  direction ``(<, >)`` across the swapped levels).
+* **strip-mining** — split one level into control + element loops; always
+  legal.
+* **reversal** check — whether a loop may run backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..dependence.solver import solve_uniform_distance
+from .expr import Affine
+from .loop import Loop, LoopNest
+from .sequence import LoopSequence
+
+
+class TransformError(ValueError):
+    """Raised when a transformation is illegal or out of model."""
+
+
+# ---------------------------------------------------------------------------
+# Statement-level dependences within one nest
+# ---------------------------------------------------------------------------
+
+
+def _stmt_deps(nest: LoopNest) -> list[tuple[int, int]]:
+    """Edges (s1 -> s2) meaning statement s2 must stay after s1 within the
+    nest body (flow/anti/output at any distance, conservatively)."""
+    edges: set[tuple[int, int]] = set()
+    vars_ = nest.loop_vars
+    sites = []
+    for idx, st in enumerate(nest.body):
+        for ref in st.reads():
+            sites.append((idx, ref, False))
+        sites.append((idx, st.target, True))
+    for i1, ref1, w1 in sites:
+        for i2, ref2, w2 in sites:
+            if ref1.array != ref2.array or not (w1 or w2):
+                continue
+            sol = solve_uniform_distance(ref1, ref2, vars_, ())
+            if sol.status == "independent":
+                continue
+            if i1 == i2:
+                continue
+            # Conservative: order by original statement order.
+            lo, hi = min(i1, i2), max(i1, i2)
+            edges.add((lo, hi))
+    return sorted(edges)
+
+
+def _sccs(num: int, edges: Sequence[tuple[int, int]]) -> list[list[int]]:
+    """Strongly connected components in topological order.
+
+    With edges only pointing from earlier to later statements (the
+    conservative ordering above) every SCC is a singleton, but the general
+    algorithm (iterative Tarjan) is implemented so a sharper dependence
+    test can be dropped in without touching callers.
+    """
+    adj: dict[int, list[int]] = {k: [] for k in range(num)}
+    for a, b in edges:
+        adj[a].append(b)
+    index = {}
+    low = {}
+    on_stack = set()
+    stack: list[int] = []
+    out: list[list[int]] = []
+    counter = [0]
+
+    def strongconnect(v0: int) -> None:
+        work = [(v0, 0)]
+        while work:
+            v, pi = work.pop()
+            if pi == 0:
+                index[v] = low[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                on_stack.add(v)
+            recurse = False
+            for i in range(pi, len(adj[v])):
+                w = adj[v][i]
+                if w not in index:
+                    work.append((v, i + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if recurse:
+                continue
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                out.append(sorted(comp))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+
+    for v in range(num):
+        if v not in index:
+            strongconnect(v)
+    # Tarjan yields reverse-topological order.
+    out.reverse()
+    return out
+
+
+def distribute_nest(nest: LoopNest) -> LoopSequence:
+    """Split ``nest`` into a sequence of single-SCC nests (loop fission).
+
+    The resulting sequence executes identically to the original nest for
+    the program model's parallel loops, and is the natural *input* to
+    fusion experiments (distribute, transform, re-fuse differently).
+    """
+    if len(nest.body) == 1:
+        return LoopSequence((nest,), name=f"{nest.name or 'nest'}.dist")
+    edges = _stmt_deps(nest)
+    comps = _sccs(len(nest.body), edges)
+    nests = []
+    for idx, comp in enumerate(comps):
+        body = tuple(nest.body[s] for s in comp)
+        nests.append(
+            LoopNest(nest.loops, body, name=f"{nest.name or 'L'}.{idx + 1}")
+        )
+    return LoopSequence(tuple(nests), name=f"{nest.name or 'nest'}.dist")
+
+
+# ---------------------------------------------------------------------------
+# Interchange / strip-mining / reversal
+# ---------------------------------------------------------------------------
+
+
+def _carried_distances(nest: LoopNest) -> list[tuple[int, ...]]:
+    vars_ = nest.loop_vars
+    out = []
+    sites = []
+    for st in nest.body:
+        for ref in st.reads():
+            sites.append((ref, False))
+        sites.append((st.target, True))
+    for ref1, w1 in sites:
+        for ref2, w2 in sites:
+            if ref1.array != ref2.array or not (w1 or w2):
+                continue
+            sol = solve_uniform_distance(ref1, ref2, vars_, ())
+            if sol.status == "uniform" and any(d != 0 for d in sol.distance):
+                out.append(sol.distance)
+    return out
+
+
+def interchange_legal(nest: LoopNest, level_a: int, level_b: int) -> bool:
+    """Interchange is illegal when a lexicographically positive distance
+    becomes negative after swapping the two levels."""
+    for dist in _carried_distances(nest):
+        vec = list(dist)
+        # Only lexicographically positive vectors constrain order.
+        if not any(d != 0 for d in vec):
+            continue
+        first = next(d for d in vec if d != 0)
+        if first < 0:
+            continue  # the mirrored pair covers this
+        vec[level_a], vec[level_b] = vec[level_b], vec[level_a]
+        for d in vec:
+            if d > 0:
+                break
+            if d < 0:
+                return False
+    return True
+
+
+def interchange(nest: LoopNest, level_a: int = 0, level_b: int = 1) -> LoopNest:
+    """Swap loop levels ``level_a`` and ``level_b`` (body unchanged)."""
+    if not (0 <= level_a < nest.depth and 0 <= level_b < nest.depth):
+        raise TransformError("interchange levels out of range")
+    if level_a == level_b:
+        return nest
+    if not interchange_legal(nest, level_a, level_b):
+        raise TransformError(
+            f"interchanging levels {level_a} and {level_b} reverses a "
+            "dependence"
+        )
+    loops = list(nest.loops)
+    loops[level_a], loops[level_b] = loops[level_b], loops[level_a]
+    return LoopNest(tuple(loops), nest.body, nest.name)
+
+
+def strip_mine(nest: LoopNest, level: int, strip: int) -> LoopNest:
+    """Split ``level`` into a control loop (step ``strip``) and an element
+    loop.  Note: the resulting control loop's bounds/step live outside the
+    plain IR's unit-step model, so this returns a nest whose *printed* form
+    is illustrative; executable strip-mining lives in :mod:`repro.codegen`.
+    """
+    if strip <= 0:
+        raise TransformError("strip size must be positive")
+    if not 0 <= level < nest.depth:
+        raise TransformError("strip-mine level out of range")
+    lp = nest.loops[level]
+    control_var = lp.var * 2 if len(lp.var) == 1 else f"{lp.var}_ctl"
+    control = Loop(control_var, lp.lower, lp.upper, lp.parallel)
+    element = Loop(lp.var, Affine.var(control_var), Affine.var(control_var) + (strip - 1), lp.parallel)
+    loops = nest.loops[:level] + (control, element) + nest.loops[level + 1:]
+    return LoopNest(loops, nest.body, nest.name)
+
+
+def reversal_legal(nest: LoopNest, level: int) -> bool:
+    """A loop can run backwards iff it carries no dependence."""
+    for dist in _carried_distances(nest):
+        if dist[level] != 0 and all(d == 0 for d in dist[:level]):
+            return False
+    return True

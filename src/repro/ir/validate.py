@@ -1,0 +1,117 @@
+"""Admissibility validation (paper Appendix Def. 1).
+
+A sequence of loops is *admissible* for shift-and-peel when every nest is
+parallel in the fused dimensions, the fused dimensions use matching index
+variables (after canonical renaming), and bodies reference arrays with
+affine subscripts over the nest's loop variables and the program parameters.
+Differing loop bounds are allowed (handled by strip-mined code generation);
+non-affine subscripts and sequential fused loops are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from .loop import LoopNest
+from .sequence import LoopSequence, Program
+
+
+class AdmissibilityError(ValueError):
+    """Raised when a sequence violates the admissible-loop-sequence model."""
+
+
+@dataclass(frozen=True)
+class AdmissibilityReport:
+    """Outcome of validation: ok flag plus human-readable findings."""
+
+    ok: bool
+    findings: tuple[str, ...] = ()
+
+    def raise_if_bad(self) -> None:
+        if not self.ok:
+            raise AdmissibilityError("; ".join(self.findings))
+
+
+def validate_nest(nest: LoopNest, params: Sequence[str]) -> list[str]:
+    findings: list[str] = []
+    allowed = set(nest.loop_vars) | set(params)
+    for lp in nest.loops:
+        if not lp.lower.uses_only(set(params)):
+            findings.append(
+                f"{nest.name}: bound {lp.lower} of loop {lp.var} uses loop "
+                "variables (non-rectangular nests are out of model)"
+            )
+        if not lp.upper.uses_only(set(params)):
+            findings.append(
+                f"{nest.name}: bound {lp.upper} of loop {lp.var} uses loop variables"
+            )
+    for st in nest.body:
+        for ref in st.refs():
+            if not ref.uses_only(allowed):
+                findings.append(
+                    f"{nest.name}: reference {ref} uses names outside "
+                    f"{sorted(allowed)}"
+                )
+    return findings
+
+
+def validate_sequence(
+    seq: LoopSequence, params: Sequence[str], fuse_depth: int | None = None
+) -> AdmissibilityReport:
+    """Check a loop sequence against Def. 1 for fusion of ``fuse_depth``
+    outer dimensions (defaults to the common depth)."""
+    findings: list[str] = []
+    depth = fuse_depth if fuse_depth is not None else seq.common_depth()
+    if depth < 1:
+        findings.append(f"{seq.name}: fuse depth must be >= 1")
+    for nest in seq:
+        findings.extend(validate_nest(nest, params))
+        if nest.depth < depth:
+            findings.append(
+                f"{nest.name}: depth {nest.depth} < fuse depth {depth}"
+            )
+            continue
+        for level in range(depth):
+            if not nest.loops[level].parallel:
+                findings.append(
+                    f"{nest.name}: fused loop level {level} ({nest.loops[level].var})"
+                    " is sequential; shift-and-peel requires parallel loops"
+                )
+    return AdmissibilityReport(ok=not findings, findings=tuple(findings))
+
+
+def validate_program(program: Program) -> AdmissibilityReport:
+    findings: list[str] = []
+    declared = set(program.array_names())
+    for seq in program.sequences:
+        # Validate at the fusable depth: the leading parallel levels.
+        report = validate_sequence(seq, program.params, seq.fusable_depth())
+        findings.extend(report.findings)
+        for nest in seq:
+            missing = nest.arrays() - declared
+            if missing:
+                findings.append(
+                    f"{nest.name}: references undeclared arrays {sorted(missing)}"
+                )
+    return AdmissibilityReport(ok=not findings, findings=tuple(findings))
+
+
+def canonical_fused_vars(seq: LoopSequence, depth: int) -> LoopSequence:
+    """Rename the first ``depth`` loop variables of every nest to the
+    variables of the first nest (the paper exploits that fused statements
+    share one index variable, Sec. 3.3)."""
+    target = seq[0].loop_vars[:depth]
+    nests = []
+    for nest in seq:
+        mapping = {
+            nest.loop_vars[level]: target[level]
+            for level in range(depth)
+            if nest.loop_vars[level] != target[level]
+        }
+        # Avoid variable capture: the rename must not collide with deeper vars.
+        for level in range(depth, nest.depth):
+            if nest.loop_vars[level] in target:
+                mapping[nest.loop_vars[level]] = nest.loop_vars[level] + "__inner"
+        nests.append(nest.rename_loop_vars(mapping) if mapping else nest)
+    return LoopSequence(tuple(nests), name=seq.name)

@@ -1,0 +1,21 @@
+"""Kernels and applications of the paper's evaluation (Tables 1/2)."""
+
+from . import calc, filterk, hydro2d, jacobi, ll18, spem, tomcatv
+from .base import KernelInfo, all_kernels, get_kernel, register
+from .synth import chain_sequence_nests, stencil_nest
+
+__all__ = [
+    "KernelInfo",
+    "all_kernels",
+    "calc",
+    "chain_sequence_nests",
+    "filterk",
+    "get_kernel",
+    "hydro2d",
+    "jacobi",
+    "ll18",
+    "register",
+    "spem",
+    "stencil_nest",
+    "tomcatv",
+]

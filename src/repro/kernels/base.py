@@ -1,0 +1,67 @@
+"""Kernel registry and metadata.
+
+Each kernel module builds a :class:`~repro.ir.Program` whose loop/array/
+dependence structure matches the corresponding benchmark of the paper's
+evaluation (Table 1).  The expected per-loop shift and peel amounts from
+Table 2 are recorded as *expectations* — the library must derive them from
+the dependence analysis; tests and the Table-2 bench assert the match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..ir.sequence import Program
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Metadata mirroring the paper's Tables 1 and 2."""
+
+    name: str
+    description: str
+    builder: Callable[[], Program]
+    fuse_depth: int
+    num_sequences: int
+    longest_sequence: int
+    max_shift: int
+    max_peel: int
+    paper_shifts: tuple[int, ...] = ()  # Table 2 (kernels only)
+    paper_peels: tuple[int, ...] = ()
+    paper_array_elems: tuple[int, ...] = ()  # array extents used in the paper
+    default_params: Mapping[str, int] = field(default_factory=dict)
+    is_application: bool = False
+    transformed_fraction: float = 1.0  # share of runtime in fused sequences
+    #: Amplification of the untransformed remainder's cost by remote traffic
+    #: (the Convex compiler parallelizes those loops without regard for
+    #: remote memory traffic — the paper's explanation for spem's dip).
+    remainder_remote_amp: float = 0.0
+
+    def program(self) -> Program:
+        return self.builder()
+
+
+_REGISTRY: dict[str, KernelInfo] = {}
+
+
+def register(info: KernelInfo) -> KernelInfo:
+    if info.name in _REGISTRY:
+        raise ValueError(f"kernel {info.name!r} already registered")
+    _REGISTRY[info.name] = info
+    return info
+
+
+def get_kernel(name: str) -> KernelInfo:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_kernels() -> list[KernelInfo]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def _ensure_loaded() -> None:
+    # Import kernel modules for their registration side effects.
+    from . import calc, filterk, hydro2d, jacobi, ll18, spem, tomcatv  # noqa: F401

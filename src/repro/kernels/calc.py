@@ -1,0 +1,113 @@
+"""calc: kernel from the qgbox quasigeostrophic box ocean model.
+
+Five parallel loop nests over six 2-D fields, fused in the outermost
+(``j``) dimension.  The sequence mirrors one time-step of the model's
+``calc`` phase: two velocity evaluations from the streamfunction and
+vorticity, a wide-stencil advection term (the ``j±2`` reads that force a
+shift/peel of 2), a Jacobian smoothing pass (``j±1``), and the
+streamfunction update that closes the anti-dependence chain back to the
+first nest.
+
+Derived amounts (Table 2): shifts (0, 0, 2, 3, 3), peels (0, 0, 2, 3, 3).
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.sequence import ArrayDecl, Program, single_sequence_program
+from ..ir.stmt import assign, load
+from .base import KernelInfo, register
+
+ARRAYS = ("psi", "vort", "uvel", "vvel", "adv", "rhs")
+
+DX = 0.125
+DT = 0.01
+
+
+def program(name: str = "calc") -> Program:
+    n = Affine.var("n")
+    j = Affine.var("j")
+    i = Affine.var("i")
+
+    def loops() -> tuple[Loop, ...]:
+        return (Loop.make("j", 3, n - 2), Loop.make("i", 3, n - 2, parallel=False))
+
+    nest1 = LoopNest(
+        loops(),
+        (
+            assign(
+                "uvel", (j, i),
+                (load("psi", j, i + 1) - load("psi", j, i - 1)) * DX,
+            ),
+        ),
+        name="L1",
+    )
+    nest2 = LoopNest(
+        loops(),
+        (
+            assign(
+                "vvel", (j, i),
+                (load("vort", j, i + 1) - load("vort", j, i - 1)) * DX,
+            ),
+        ),
+        name="L2",
+    )
+    nest3 = LoopNest(
+        loops(),
+        (
+            assign(
+                "adv", (j, i),
+                (load("uvel", j + 2, i) - load("uvel", j - 2, i)) * DX
+                + load("vvel", j, i) * (load("vort", j, i + 1) - load("vort", j, i - 1)),
+            ),
+        ),
+        name="L3",
+    )
+    nest4 = LoopNest(
+        loops(),
+        (
+            assign(
+                "rhs", (j, i),
+                (load("adv", j + 1, i) + load("adv", j - 1, i)
+                 + load("adv", j, i + 1) + load("adv", j, i - 1)) / 4.0,
+            ),
+        ),
+        name="L4",
+    )
+    nest5 = LoopNest(
+        loops(),
+        (
+            assign(
+                "psi", (j, i),
+                load("psi", j, i) + DT * load("rhs", j, i),
+            ),
+            assign(
+                "vort", (j, i),
+                load("vort", j, i) + DT * load("adv", j, i),
+            ),
+        ),
+        name="L5",
+    )
+    arrays = tuple(ArrayDecl.make(a, n + 1, n + 1) for a in ARRAYS)
+    return single_sequence_program(
+        (nest1, nest2, nest3, nest4, nest5), arrays, ("n",), name
+    )
+
+
+INFO = register(
+    KernelInfo(
+        name="calc",
+        description="kernel from qgbox ocean model (quasigeostrophic step)",
+        builder=program,
+        fuse_depth=1,
+        num_sequences=1,
+        longest_sequence=5,
+        max_shift=3,
+        max_peel=3,
+        paper_shifts=(0, 0, 2, 3, 3),
+        paper_peels=(0, 0, 2, 3, 3),
+        paper_array_elems=(512, 512),
+        default_params={"n": 128},
+    )
+)

@@ -1,0 +1,102 @@
+"""filter: smoothing subroutine from the hydro2d SPEC95 benchmark.
+
+Ten parallel loop nests forming the longest dependence-chain sequence of
+the evaluation: a cascade of difference/average passes over temporary
+fields ``t1..t9`` ending in the filtered density update.  Every other nest
+adds a ``j±1`` stencil on the previous temporary, so shifts and peels
+accumulate down the chain to the paper's maxima of 5 and 4.  The arrays
+are rectangular (the paper runs 1602x640 on the Convex), exercised here
+with separate ``m`` (rows) and ``n`` (columns) parameters.
+
+Derived amounts (Table 2):
+shifts (0, 0, 0, 1, 2, 2, 3, 4, 4, 5), peels (0, 0, 0, 1, 2, 2, 3, 4, 4, 4).
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.sequence import ArrayDecl, Program, single_sequence_program
+from ..ir.stmt import assign, load
+from .base import KernelInfo, register
+
+ARRAYS = ("ro", "en", "mu", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9")
+
+C1 = 0.75
+C2 = 0.25
+
+
+def program(name: str = "filter") -> Program:
+    m = Affine.var("m")
+    n = Affine.var("n")
+    j = Affine.var("j")
+    i = Affine.var("i")
+
+    def loops() -> tuple[Loop, ...]:
+        return (Loop.make("j", 6, m - 6), Loop.make("i", 6, n - 6, parallel=False))
+
+    nests = (
+        LoopNest(loops(), (
+            assign("t1", (j, i),
+                   (load("ro", j, i - 1) + load("ro", j, i + 1)
+                    + load("ro", j - 1, i) + load("ro", j + 1, i)) / 4.0),
+        ), name="L1"),
+        LoopNest(loops(), (
+            assign("t2", (j, i),
+                   (load("en", j, i - 1) + load("en", j, i + 1)) / 2.0),
+        ), name="L2"),
+        LoopNest(loops(), (
+            assign("t3", (j, i),
+                   (load("mu", j, i - 1) + load("mu", j, i + 1)) / 2.0),
+        ), name="L3"),
+        LoopNest(loops(), (
+            assign("t4", (j, i),
+                   load("t3", j + 1, i) - load("t3", j - 1, i) + load("t1", j, i)),
+        ), name="L4"),
+        LoopNest(loops(), (
+            assign("t5", (j, i),
+                   (load("t4", j + 1, i) + load("t4", j - 1, i)) / 2.0
+                   + load("t2", j, i)),
+        ), name="L5"),
+        LoopNest(loops(), (
+            assign("t6", (j, i),
+                   load("t5", j, i) * C1 + load("t1", j, i) * C2),
+        ), name="L6"),
+        LoopNest(loops(), (
+            assign("t7", (j, i),
+                   load("t6", j + 1, i) - load("t6", j - 1, i)),
+        ), name="L7"),
+        LoopNest(loops(), (
+            assign("t8", (j, i),
+                   (load("t7", j + 1, i) + load("t7", j - 1, i)) / 2.0
+                   + load("t5", j, i)),
+        ), name="L8"),
+        LoopNest(loops(), (
+            assign("t9", (j, i),
+                   load("t8", j, i) - load("t6", j, i)),
+        ), name="L9"),
+        LoopNest(loops(), (
+            assign("ro", (j, i),
+                   load("t9", j + 1, i) * C2 + load("t9", j, i) * C1),
+        ), name="L10"),
+    )
+    arrays = tuple(ArrayDecl.make(a, m + 1, n + 1) for a in ARRAYS)
+    return single_sequence_program(nests, arrays, ("m", "n"), name)
+
+
+INFO = register(
+    KernelInfo(
+        name="filter",
+        description="smoothing subroutine in hydro2d (SPEC95)",
+        builder=program,
+        fuse_depth=1,
+        num_sequences=1,
+        longest_sequence=10,
+        max_shift=5,
+        max_peel=4,
+        paper_shifts=(0, 0, 0, 1, 2, 2, 3, 4, 4, 5),
+        paper_peels=(0, 0, 0, 1, 2, 2, 3, 4, 4, 4),
+        paper_array_elems=(1602, 640),
+        default_params={"m": 200, "n": 80},
+    )
+)

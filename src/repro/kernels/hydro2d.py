@@ -1,0 +1,88 @@
+"""hydro2d: SPEC95 Navier-Stokes benchmark proxy.
+
+Three transformable loop sequences per time step (Table 1):
+
+1. the ten-nest ``filter`` smoothing cascade (shared with the ``filter``
+   kernel — same dependence structure, max shift/peel 5/4),
+2. a four-nest flux-computation phase with ``j±1`` stencils, and
+3. a two-nest conserved-variable update (plain fusion, no shifting).
+
+The proxy keeps the array-count and reuse pattern of the transformed
+sequences; the untransformed remainder of the application is modelled by
+``transformed_fraction`` in the machine simulation (an Amdahl term), since
+only roughly half of hydro2d's runtime is in fusable sequences.
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import Affine
+from ..ir.sequence import ArrayDecl, LoopSequence, Program
+from .base import KernelInfo, register
+from .filterk import program as filter_program
+from .synth import chain_sequence_nests
+
+FLUX_ARRAYS = ("fu", "fv", "gu", "gv")
+UPDATE_ARRAYS = ("ronew", "ennew")
+
+
+def program(name: str = "hydro2d") -> Program:
+    m = Affine.var("m")
+    n = Affine.var("n")
+    bounds = ((6, m - 6), (6, n - 6))
+
+    filt = filter_program()
+    filter_seq = LoopSequence(filt.sequences[0].nests, name="hydro2d.filter")
+
+    flux_nests = chain_sequence_nests(
+        "flux",
+        chain=[
+            [("ro", (0, -1)), ("ro", (0, 1)), ("mu", (0, 0))],
+            [("en", (0, -1)), ("en", (0, 1)), ("mu", (0, 0))],
+            [("fu", (1, 0)), ("fu", (-1, 0)), ("gu", (0, 0))],
+            [("gv", (1, 0)), ("gv", (-1, 0)), ("fv", (0, 0))],
+        ],
+        writes=["fu", "fv", "gv", "ro"],
+        loop_vars=("j", "i"),
+        bounds=bounds,
+    )
+    flux_seq = LoopSequence(flux_nests, name="hydro2d.flux")
+
+    update_nests = chain_sequence_nests(
+        "upd",
+        chain=[
+            [("ro", (0, 0)), ("fu", (0, 0))],
+            [("en", (0, 0)), ("fv", (0, 0)), ("ronew", (0, 0))],
+        ],
+        writes=["ronew", "ennew"],
+        loop_vars=("j", "i"),
+        bounds=bounds,
+    )
+    update_seq = LoopSequence(update_nests, name="hydro2d.update")
+
+    arrays = tuple(filt.arrays) + tuple(
+        ArrayDecl.make(a, m + 1, n + 1) for a in FLUX_ARRAYS + UPDATE_ARRAYS
+    )
+    return Program(
+        arrays=arrays,
+        sequences=(filter_seq, flux_seq, update_seq),
+        params=("m", "n"),
+        name=name,
+    )
+
+
+INFO = register(
+    KernelInfo(
+        name="hydro2d",
+        description="SPEC95 benchmark (Navier-Stokes) — proxy",
+        builder=program,
+        fuse_depth=1,
+        num_sequences=3,
+        longest_sequence=10,
+        max_shift=5,
+        max_peel=4,
+        paper_array_elems=(802, 320),
+        default_params={"m": 200, "n": 80},
+        is_application=True,
+        transformed_fraction=0.5,
+    )
+)

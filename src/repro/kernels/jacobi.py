@@ -1,0 +1,63 @@
+"""Jacobi: the multidimensional shift-and-peel example of paper Figs. 15/16.
+
+Two parallel nests — a 5-point relaxation into ``b`` followed by the
+copy-back into ``a``.  Fusing both dimensions requires a shift of one and a
+peel of one in each (the copy-back lags the relaxation by one row and one
+column so the stencil's ``a[i+1]``/``a[j+1]`` reads stay legal).
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.sequence import ArrayDecl, Program, single_sequence_program
+from ..ir.stmt import assign, load
+from .base import KernelInfo, register
+
+ARRAYS = ("a", "b")
+
+
+def program(name: str = "jacobi") -> Program:
+    n = Affine.var("n")
+    i = Affine.var("i")
+    j = Affine.var("j")
+
+    def loops() -> tuple[Loop, ...]:
+        return (Loop.make("j", 2, n - 1), Loop.make("i", 2, n - 1))
+
+    relax = LoopNest(
+        loops(),
+        (
+            assign(
+                "b", (i, j),
+                (load("a", i, j - 1) + load("a", i, j + 1)
+                 + load("a", i - 1, j) + load("a", i + 1, j)) / 4.0,
+            ),
+        ),
+        name="L1",
+    )
+    copy_back = LoopNest(
+        loops(),
+        (assign("a", (i, j), load("b", i, j)),),
+        name="L2",
+    )
+    arrays = tuple(ArrayDecl.make(a, n + 1, n + 1) for a in ARRAYS)
+    return single_sequence_program((relax, copy_back), arrays, ("n",), name)
+
+
+INFO = register(
+    KernelInfo(
+        name="jacobi",
+        description="Jacobi relaxation pair (paper Figs. 15/16)",
+        builder=program,
+        fuse_depth=2,
+        num_sequences=1,
+        longest_sequence=2,
+        max_shift=1,
+        max_peel=1,
+        paper_shifts=(0, 1),
+        paper_peels=(0, 1),
+        paper_array_elems=(512, 512),
+        default_params={"n": 128},
+    )
+)

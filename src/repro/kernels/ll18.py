@@ -1,0 +1,110 @@
+"""LL18: Livermore Loop 18 (2-D explicit hydrodynamics excerpt).
+
+Three parallel loop nests over nine 2-D arrays (``za zb zm zp zq zr zu zv
+zz``), fused in the outermost (``j``) dimension.  The reference pattern
+follows the Livermore kernel: nest 1 computes the ``za``/``zb`` work
+arrays from pressure/viscosity terms, nest 2 accumulates velocities
+``zu``/``zv`` (reading ``zb`` at ``j+1`` — the backward dependence that
+forces a shift), nest 3 advances ``zr``/``zz`` (whose ``j-1``/``j+1``
+reads in earlier nests force further shifting and one peel).
+
+Derived amounts (Table 2): shifts (0, 1, 2), peels (0, 0, 1).
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.sequence import ArrayDecl, Program, single_sequence_program
+from ..ir.stmt import assign, load
+from .base import KernelInfo, register
+
+ARRAYS = ("za", "zb", "zm", "zp", "zq", "zr", "zu", "zv", "zz")
+
+#: Time-step / stabilization constants of the Livermore kernel.
+S = 0.0041
+T = 0.0037
+
+
+def program(name: str = "ll18") -> Program:
+    n = Affine.var("n")
+    j = Affine.var("j")
+    k = Affine.var("k")
+
+    def loops() -> tuple[Loop, ...]:
+        return (Loop.make("j", 2, n - 1), Loop.make("k", 2, n - 1, parallel=False))
+
+    nest1 = LoopNest(
+        loops(),
+        (
+            assign(
+                "za",
+                (j, k),
+                (load("zp", j - 1, k + 1) + load("zq", j - 1, k + 1)
+                 - load("zp", j - 1, k) - load("zq", j - 1, k))
+                * (load("zr", j, k) + load("zr", j - 1, k))
+                / (load("zm", j - 1, k) + load("zm", j - 1, k + 1)),
+            ),
+            assign(
+                "zb",
+                (j, k),
+                (load("zp", j - 1, k) + load("zq", j - 1, k)
+                 - load("zp", j, k) - load("zq", j, k))
+                * (load("zr", j, k) + load("zr", j, k - 1))
+                / (load("zm", j, k) + load("zm", j - 1, k)),
+            ),
+        ),
+        name="L1",
+    )
+    nest2 = LoopNest(
+        loops(),
+        (
+            assign(
+                "zu",
+                (j, k),
+                load("zu", j, k)
+                + S * (load("za", j, k) * (load("zz", j, k) - load("zz", j, k + 1))
+                       - load("za", j, k - 1) * (load("zz", j, k) - load("zz", j, k - 1))
+                       - load("zb", j, k) * (load("zz", j, k) - load("zz", j - 1, k))
+                       + load("zb", j + 1, k) * (load("zz", j, k) - load("zz", j + 1, k))),
+            ),
+            assign(
+                "zv",
+                (j, k),
+                load("zv", j, k)
+                + S * (load("za", j, k) * (load("zr", j, k) - load("zr", j, k + 1))
+                       - load("za", j, k - 1) * (load("zr", j, k) - load("zr", j, k - 1))
+                       - load("zb", j, k) * (load("zr", j, k) - load("zr", j - 1, k))
+                       + load("zb", j + 1, k) * (load("zr", j, k) - load("zr", j + 1, k))),
+            ),
+        ),
+        name="L2",
+    )
+    nest3 = LoopNest(
+        loops(),
+        (
+            assign("zr", (j, k), load("zr", j, k) + T * load("zu", j, k)),
+            assign("zz", (j, k), load("zz", j, k) + T * load("zv", j, k)),
+        ),
+        name="L3",
+    )
+    arrays = tuple(ArrayDecl.make(a, n + 1, n + 1) for a in ARRAYS)
+    return single_sequence_program((nest1, nest2, nest3), arrays, ("n",), name)
+
+
+INFO = register(
+    KernelInfo(
+        name="ll18",
+        description="kernel from Livermore Loops (2-D explicit hydrodynamics)",
+        builder=program,
+        fuse_depth=1,
+        num_sequences=1,
+        longest_sequence=3,
+        max_shift=2,
+        max_peel=1,
+        paper_shifts=(0, 1, 2),
+        paper_peels=(0, 0, 1),
+        paper_array_elems=(512, 512),
+        default_params={"n": 128},
+    )
+)

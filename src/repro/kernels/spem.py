@@ -1,0 +1,123 @@
+"""spem: semi-spectral primitive-equation ocean circulation model proxy.
+
+The paper's largest application: eleven transformable loop sequences over
+3-D fields (60x65x65 in the paper, ~70 MB), together close to half the
+runtime; maximum shift 1 and peel 2 across all sequences, with the longest
+sequence holding eight nests.  The proxy reproduces those structural
+numbers with eleven sequences drawn from four templates (a long
+vertical-mode cascade, plain-fusable pair updates, mid-chain stencil
+triples, and wide ``j-2`` advection reads), all over 3-D arrays indexed
+``[j, i, k]`` (fused dimension ``j``, vertical ``k`` innermost).
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import Affine
+from ..ir.sequence import ArrayDecl, LoopSequence, Program
+from .base import KernelInfo, register
+from .synth import chain_sequence_nests
+
+FIELDS = ("ubar", "vbar", "tsal", "temp", "rho", "pgr")
+WORK = tuple(f"w{k}" for k in range(1, 9))
+ARRAYS = FIELDS + WORK
+
+
+def _bounds(n: Affine, p: Affine):
+    return ((3, n - 2), (2, n - 1), (1, p))
+
+
+def program(name: str = "spem") -> Program:
+    n = Affine.var("n")
+    p = Affine.var("p")
+    loop_vars = ("j", "i", "k")
+    bounds = _bounds(n, p)
+
+    def seq(prefix, chain, writes):
+        nests = chain_sequence_nests(
+            prefix, chain, writes, loop_vars, bounds, parallel_depth=1
+        )
+        return LoopSequence(nests, name=f"{name}.{prefix}")
+
+    z = (0, 0, 0)
+    up = (1, 0, 0)
+    dn = (-1, 0, 0)
+    dn2 = (-2, 0, 0)
+
+    # Background fields read by most sweeps (bathymetry, Coriolis, masks in
+    # the real model): they widen every sequence's working set, which is
+    # what makes inter-nest fusion pay off for spem.
+    bg1 = [("pgr", z), ("rho", z)]
+    bg2 = [("temp", z), ("tsal", z)]
+    sequences = (
+        # s1: the eight-nest vertical-mode cascade (max shift 1, peel 2).
+        seq(
+            "modes",
+            chain=[
+                [("rho", z), ("temp", (0, 0, -1)), ("tsal", z)],
+                [("w1", up), ("w1", dn), ("ubar", z)],
+                [("w2", z), ("pgr", z), ("vbar", z)],
+                [("w3", z), ("w1", z), ("rho", z)],
+                [("w4", dn), ("w4", z), ("temp", z)],
+                [("w5", z), ("tsal", z), ("ubar", z)],
+                [("w6", z), ("w2", z), ("vbar", z)],
+                [("w7", z), ("rho", z), ("pgr", z)],
+            ],
+            writes=["w1", "w2", "w3", "w4", "w5", "w6", "w7", "w8"],
+        ),
+        # s2-s4: plain-fusable pairs (barotropic updates).
+        seq("bar1", [[("ubar", z), ("pgr", z)] + bg2, [("w1", z), ("ubar", z)] + bg1],
+            ["w1", "ubar"]),
+        seq("bar2", [[("vbar", z), ("pgr", z)] + bg2, [("w2", z), ("vbar", z)] + bg1],
+            ["w2", "vbar"]),
+        seq("bar3", [[("rho", z), ("temp", z), ("ubar", z)],
+                     [("w3", z), ("rho", z), ("vbar", z), ("tsal", z)]],
+            ["w3", "rho"]),
+        # s5-s7: three-nest stencil triples (shift 1, peel 1).
+        seq("adv1",
+            [[("temp", z)] + bg1, [("w4", up), ("w4", dn), ("ubar", z)],
+             [("w5", z), ("temp", z), ("vbar", z)]],
+            ["w4", "w5", "temp"]),
+        seq("adv2",
+            [[("tsal", z)] + bg1, [("w5", up), ("w5", dn), ("ubar", z)],
+             [("w6", z), ("tsal", z), ("vbar", z)]],
+            ["w5", "w6", "tsal"]),
+        seq("adv3",
+            [[("rho", z)] + bg2, [("w6", up), ("w6", dn), ("ubar", z)],
+             [("w7", z), ("rho", z), ("vbar", z)]],
+            ["w6", "w7", "rho"]),
+        # s8-s9: wide advection reads (peel 2, no shift).
+        seq("wide1",
+            [[("ubar", z)] + bg2, [("w7", dn2), ("w7", z), ("pgr", z)],
+             [("w8", z), ("ubar", z), ("rho", z)], [("w1", z), ("w8", z)]],
+            ["w7", "w8", "w1", "ubar"]),
+        seq("wide2",
+            [[("vbar", z)] + bg2, [("w8", dn2), ("w8", z), ("pgr", z)],
+             [("w1", z), ("vbar", z), ("rho", z)], [("w2", z), ("w1", z)]],
+            ["w8", "w1", "w2", "vbar"]),
+        # s10-s11: backward-only pairs (shift 1, peel 0).
+        seq("vert1", [[("temp", z)] + bg1, [("w2", up), ("pgr", z)] + bg2],
+            ["w2", "pgr"]),
+        seq("vert2", [[("tsal", z)] + bg1, [("w3", up), ("rho", z), ("ubar", z)]],
+            ["w3", "pgr"]),
+    )
+    arrays = tuple(ArrayDecl.make(a, n + 1, n + 1, p + 1) for a in ARRAYS)
+    return Program(arrays=arrays, sequences=sequences, params=("n", "p"), name=name)
+
+
+INFO = register(
+    KernelInfo(
+        name="spem",
+        description="semi-spectral primitive-equation ocean model — proxy",
+        builder=program,
+        fuse_depth=1,
+        num_sequences=11,
+        longest_sequence=8,
+        max_shift=1,
+        max_peel=2,
+        paper_array_elems=(60, 65, 65),
+        default_params={"n": 32, "p": 12},
+        is_application=True,
+        transformed_fraction=0.5,
+        remainder_remote_amp=14.0,
+    )
+)

@@ -1,0 +1,68 @@
+"""Helpers for building stencil loop sequences compactly.
+
+The application proxies (hydro2d flux/update phases, spem's eleven
+sequences) share one shape: each nest writes one field and reads earlier
+fields at small constant offsets in the fused dimension.  These helpers
+build such nests without repeating IR plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.stmt import Expr, assign, load
+
+
+def stencil_nest(
+    name: str,
+    write: str,
+    reads: Sequence[tuple[str, Sequence[int]]],
+    loop_vars: Sequence[str],
+    bounds: Sequence[tuple[Affine | int, Affine | int]],
+    parallel_depth: int = 1,
+    scale: float = 0.5,
+) -> LoopNest:
+    """A nest ``write[vars] = scale * sum(reads at offsets)``.
+
+    ``reads`` are ``(array, offset-vector)`` pairs; offsets are added to the
+    loop variables positionally.
+    """
+    vars_ = [Affine.var(v) for v in loop_vars]
+    rhs: Expr | None = None
+    for array, offsets in reads:
+        subs = [v + off for v, off in zip(vars_, offsets)]
+        term = load(array, *subs)
+        rhs = term if rhs is None else rhs + term
+    if rhs is None:
+        raise ValueError("stencil nest needs at least one read")
+    rhs = rhs * scale
+    loops = tuple(
+        Loop.make(v, lo, hi, parallel=(lvl < parallel_depth or lvl == 0))
+        for lvl, (v, (lo, hi)) in enumerate(zip(loop_vars, bounds))
+    )
+    return LoopNest(loops, (assign(write, tuple(vars_), rhs),), name=name)
+
+
+def chain_sequence_nests(
+    prefix: str,
+    chain: Sequence[Sequence[tuple[str, Sequence[int]]]],
+    writes: Sequence[str],
+    loop_vars: Sequence[str],
+    bounds: Sequence[tuple[Affine | int, Affine | int]],
+    parallel_depth: int = 1,
+) -> tuple[LoopNest, ...]:
+    """Build a sequence of stencil nests: nest ``k`` writes ``writes[k]``
+    and performs the reads listed in ``chain[k]``."""
+    return tuple(
+        stencil_nest(
+            f"{prefix}L{k + 1}",
+            writes[k],
+            reads,
+            loop_vars,
+            bounds,
+            parallel_depth,
+        )
+        for k, reads in enumerate(chain)
+    )

@@ -1,0 +1,100 @@
+"""tomcatv: SPEC95 vectorized mesh-generation proxy.
+
+One transformable three-nest sequence per time step: residuals ``rx``/
+``ry`` and auxiliary coefficients are computed from the mesh coordinates
+``x``/``y``, then the coordinates are relaxed in place.  The in-place
+update creates ``j±1`` anti-dependences back to the residual nests, so
+fusion needs a shift of 1 and a peel of 1 (Table 1's max shift/peel for
+tomcatv).  Seven 2-D arrays, 513x513 in the paper (~16 MB total).
+"""
+
+from __future__ import annotations
+
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.sequence import ArrayDecl, Program, single_sequence_program
+from ..ir.stmt import assign, load
+from .base import KernelInfo, register
+
+ARRAYS = ("x", "y", "rx", "ry", "aa", "dd", "d")
+
+RELAX = 0.4
+
+
+def program(name: str = "tomcatv") -> Program:
+    n = Affine.var("n")
+    j = Affine.var("j")
+    i = Affine.var("i")
+
+    def loops() -> tuple[Loop, ...]:
+        return (Loop.make("j", 2, n - 1), Loop.make("i", 2, n - 1, parallel=False))
+
+    nest1 = LoopNest(
+        loops(),
+        (
+            assign(
+                "rx", (j, i),
+                load("x", j, i + 1) + load("x", j, i - 1)
+                + load("x", j + 1, i) + load("x", j - 1, i)
+                - load("x", j, i) * 4.0,
+            ),
+            assign(
+                "aa", (j, i),
+                (load("y", j, i + 1) - load("y", j, i - 1)) * 0.5,
+            ),
+        ),
+        name="L1",
+    )
+    nest2 = LoopNest(
+        loops(),
+        (
+            assign(
+                "ry", (j, i),
+                load("y", j, i + 1) + load("y", j, i - 1)
+                + load("y", j + 1, i) + load("y", j - 1, i)
+                - load("y", j, i) * 4.0,
+            ),
+            assign(
+                "dd", (j, i),
+                (load("x", j, i + 1) - load("x", j, i - 1)) * 0.5,
+            ),
+        ),
+        name="L2",
+    )
+    nest3 = LoopNest(
+        loops(),
+        (
+            assign("d", (j, i), load("aa", j, i) * load("dd", j, i) + 1.0),
+            assign(
+                "x", (j, i),
+                load("x", j, i) + load("rx", j, i) * RELAX,
+            ),
+            assign(
+                "y", (j, i),
+                load("y", j, i) + load("ry", j, i) * RELAX,
+            ),
+        ),
+        name="L3",
+    )
+    arrays = tuple(ArrayDecl.make(a, n + 1, n + 1) for a in ARRAYS)
+    return single_sequence_program((nest1, nest2, nest3), arrays, ("n",), name)
+
+
+INFO = register(
+    KernelInfo(
+        name="tomcatv",
+        description="SPEC95 benchmark (mesh generation) — proxy",
+        builder=program,
+        fuse_depth=1,
+        num_sequences=1,
+        longest_sequence=3,
+        max_shift=1,
+        max_peel=1,
+        paper_shifts=(0, 0, 1),
+        paper_peels=(0, 0, 1),
+        paper_array_elems=(513, 513),
+        default_params={"n": 128},
+        is_application=True,
+        transformed_fraction=0.4,
+    )
+)

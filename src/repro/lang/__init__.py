@@ -1,0 +1,47 @@
+"""Source-to-source front end: the Fortran-like loop DSL.
+
+``parse_program``/``parse_sequence`` turn DSL text into IR;
+``transform_source`` is the one-call source-to-source driver:
+parse -> analyze -> derive shift-and-peel -> emit transformed source.
+"""
+
+from __future__ import annotations
+
+from ..core.fuse import fuse_sequence
+from .emit import emit_direct, emit_spmd, emit_stripmined
+from .lexer import LexError, Token, tokenize
+from .parser import ParseError, parse_program, parse_sequence
+
+
+def transform_source(source: str, name: str = "program", style: str = "stripmined") -> str:
+    """Parse DSL source, apply shift-and-peel, emit transformed source.
+
+    ``style`` selects the rendering: ``'stripmined'`` (Fig. 12),
+    ``'direct'`` (Fig. 11(a)) or ``'spmd'`` (Fig. 16).
+    """
+    program = parse_program(source, name)
+    seq = program.sequences[0]
+    result = fuse_sequence(seq, program.params)
+    if style == "stripmined":
+        if result.depth == 1:
+            return emit_stripmined(result.plan)
+        return emit_spmd(result.plan)
+    if style == "direct":
+        return emit_direct(result.plan)
+    if style == "spmd":
+        return emit_spmd(result.plan)
+    raise ValueError(f"unknown style {style!r}")
+
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "Token",
+    "emit_direct",
+    "emit_spmd",
+    "emit_stripmined",
+    "parse_program",
+    "parse_sequence",
+    "tokenize",
+    "transform_source",
+]

@@ -1,0 +1,99 @@
+"""Tokenizer for the Fortran-like loop DSL.
+
+The surface syntax is the pseudo-code the paper uses in its figures::
+
+    param n
+    real a(n+1), b(n+1)
+    doall i = 2, n-1
+        a[i] = b[i-1]
+    end do
+
+Comments start with ``!``.  Both ``a[i]`` and ``a(i)`` subscript forms are
+accepted (the printer emits brackets; the paper's figures mix both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+KEYWORDS = {"do", "doall", "end", "param", "real", "barrier"}
+
+SYMBOLS = {
+    "=": "EQUALS",
+    ",": "COMMA",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ID' | 'NUM' | 'NEWLINE' | 'EOF' | keyword upper | symbol name
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+class LexError(SyntaxError):
+    pass
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("!", 1)[0]
+        col = 0
+        emitted = False
+        while col < len(line):
+            ch = line[col]
+            if ch in " \t":
+                col += 1
+                continue
+            if ch.isdigit():
+                start = col
+                while col < len(line) and (line[col].isdigit() or line[col] == "."):
+                    col += 1
+                tokens.append(Token("NUM", line[start:col], lineno, start + 1))
+                emitted = True
+                continue
+            if ch.isalpha() or ch == "_":
+                start = col
+                while col < len(line) and (line[col].isalnum() or line[col] == "_"):
+                    col += 1
+                word = line[start:col]
+                kind = word.upper() if word.lower() in KEYWORDS else "ID"
+                text = word.lower() if kind != "ID" else word
+                tokens.append(Token(kind, text, lineno, start + 1))
+                emitted = True
+                continue
+            if ch in SYMBOLS:
+                tokens.append(Token(SYMBOLS[ch], ch, lineno, col + 1))
+                col += 1
+                emitted = True
+                continue
+            raise LexError(f"unexpected character {ch!r} at line {lineno}, col {col + 1}")
+        if emitted:
+            tokens.append(Token("NEWLINE", "\n", lineno, len(line) + 1))
+    tokens.append(Token("EOF", "", len(source.splitlines()) + 1, 1))
+    return tokens
+
+
+def strip_newlines(tokens: Iterator[Token]) -> list[Token]:
+    """Collapse runs of NEWLINE tokens (blank lines are insignificant)."""
+    out: list[Token] = []
+    for tok in tokens:
+        if tok.kind == "NEWLINE" and (not out or out[-1].kind == "NEWLINE"):
+            continue
+        out.append(tok)
+    return out

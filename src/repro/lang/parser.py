@@ -1,0 +1,294 @@
+"""Recursive-descent parser: DSL source -> :class:`repro.ir.Program`.
+
+The grammar (statements are newline-terminated)::
+
+    program   := { decl } { nest }
+    decl      := 'param' ID { ',' ID } | 'real' arraydecl { ',' arraydecl }
+    arraydecl := ID '(' affine { ',' affine } ')'
+    nest      := ('do'|'doall') ID '=' affine ',' affine NL body 'end' 'do'
+    body      := { nest | stmt }
+    stmt      := ref '=' arith NL
+    ref       := ID ('[' affine { ',' affine } ']' | '(' affine { ',' affine } ')')
+    arith     := term { ('+'|'-') term }
+    term      := factor { ('*'|'/') factor }
+    factor    := NUM | ref-or-var | '(' arith ')' | '-' factor
+
+Subscripts and bounds must be affine; arbitrary arithmetic is only allowed
+on the right-hand side of assignments.  Consecutive top-level nests form a
+single loop sequence (the paper's admissible parallel loop sequence).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.expr import Affine
+from ..ir.loop import Loop, LoopNest
+from ..ir.sequence import ArrayDecl, LoopSequence, Program
+from ..ir.stmt import Assign, BinOp, Const, Expr, Load, UnaryOp
+from ..ir.access import ArrayRef
+from .lexer import Token, strip_newlines, tokenize
+
+
+class ParseError(SyntaxError):
+    pass
+
+
+class Parser:
+    def __init__(self, source: str, name: str = "program"):
+        self.tokens = strip_newlines(tokenize(source))
+        self.pos = 0
+        self.name = name
+        self.params: list[str] = []
+        self.arrays: list[ArrayDecl] = []
+
+    # -- token plumbing -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.next()
+        if tok.kind != kind:
+            raise ParseError(f"expected {kind}, got {tok}")
+        return tok
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def skip_newlines(self) -> None:
+        while self.accept("NEWLINE"):
+            pass
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self.skip_newlines()
+        while self.peek().kind in ("PARAM", "REAL"):
+            self.parse_decl()
+            self.skip_newlines()
+        # Adjacent nests form one admissible sequence; an explicit
+        # ``barrier`` line separates sequences (intervening code in the
+        # original program that keeps the neighbours from being fused).
+        groups: list[list[LoopNest]] = [[]]
+        while self.peek().kind in ("DO", "DOALL", "BARRIER"):
+            if self.accept("BARRIER"):
+                if self.peek().kind == "NEWLINE":
+                    self.next()
+                self.skip_newlines()
+                if groups[-1]:
+                    groups.append([])
+                continue
+            groups[-1].append(self.parse_nest())
+            self.skip_newlines()
+        if self.peek().kind != "EOF":
+            raise ParseError(f"unexpected token {self.peek()}")
+        groups = [g for g in groups if g]
+        if not groups:
+            raise ParseError("program contains no loop nests")
+        nests = [nest for group in groups for nest in group]
+        if not self.params:
+            self.params = sorted(self._free_names(nests))
+        sequences = tuple(
+            LoopSequence(tuple(group), name=f"{self.name}.seq{idx + 1}")
+            if len(groups) > 1
+            else LoopSequence(tuple(group), name=f"{self.name}.seq")
+            for idx, group in enumerate(groups)
+        )
+        if not self.arrays:
+            self.arrays = self._infer_arrays(nests)
+        return Program(
+            arrays=tuple(self.arrays),
+            sequences=sequences,
+            params=tuple(self.params),
+            name=self.name,
+        )
+
+    def parse_decl(self) -> None:
+        tok = self.next()
+        if tok.kind == "PARAM":
+            self.params.append(self.expect("ID").text)
+            while self.accept("COMMA"):
+                self.params.append(self.expect("ID").text)
+        else:  # REAL
+            self.arrays.append(self._array_decl())
+            while self.accept("COMMA"):
+                self.arrays.append(self._array_decl())
+        self.expect("NEWLINE")
+
+    def _array_decl(self) -> ArrayDecl:
+        name = self.expect("ID").text
+        self.expect("LPAREN")
+        dims = [self.parse_affine()]
+        while self.accept("COMMA"):
+            dims.append(self.parse_affine())
+        self.expect("RPAREN")
+        return ArrayDecl(name, tuple(dims))
+
+    def parse_nest(self) -> LoopNest:
+        loops: list[Loop] = []
+        tok = self.peek()
+        while tok.kind in ("DO", "DOALL"):
+            self.next()
+            var = self.expect("ID").text
+            self.expect("EQUALS")
+            lower = self.parse_affine()
+            self.expect("COMMA")
+            upper = self.parse_affine()
+            self.expect("NEWLINE")
+            loops.append(Loop(var, lower, upper, parallel=(tok.kind == "DOALL")))
+            self.skip_newlines()
+            tok = self.peek()
+        body: list[Assign] = []
+        while self.peek().kind == "ID":
+            body.append(self.parse_stmt())
+            self.skip_newlines()
+        for _ in loops:
+            self.expect("END")
+            self.expect("DO")
+            if self.peek().kind == "NEWLINE":
+                self.next()
+            self.skip_newlines()
+        return LoopNest(tuple(loops), tuple(body))
+
+    def parse_stmt(self) -> Assign:
+        target = self.parse_ref()
+        if target is None:
+            raise ParseError(f"assignment target must be subscripted: {self.peek()}")
+        self.expect("EQUALS")
+        rhs = self.parse_arith()
+        if self.peek().kind == "NEWLINE":
+            self.next()
+        return Assign(target, rhs)
+
+    def parse_ref(self) -> Optional[ArrayRef]:
+        name = self.expect("ID").text
+        open_kind = self.peek().kind
+        if open_kind not in ("LBRACKET", "LPAREN"):
+            self.pos -= 1
+            return None
+        close_kind = "RBRACKET" if open_kind == "LBRACKET" else "RPAREN"
+        self.next()
+        subs = [self.parse_affine()]
+        while self.accept("COMMA"):
+            subs.append(self.parse_affine())
+        self.expect(close_kind)
+        return ArrayRef(name, tuple(subs))
+
+    # -- affine expressions (subscripts, bounds) ---------------------------
+
+    def parse_affine(self) -> Affine:
+        expr = self.parse_affine_term()
+        while self.peek().kind in ("PLUS", "MINUS"):
+            op = self.next().kind
+            term = self.parse_affine_term()
+            expr = expr + term if op == "PLUS" else expr - term
+        return expr
+
+    def parse_affine_term(self) -> Affine:
+        neg = False
+        while self.peek().kind == "MINUS":
+            self.next()
+            neg = not neg
+        tok = self.next()
+        if tok.kind == "NUM":
+            if "." in tok.text:
+                raise ParseError(f"subscripts must be integers: {tok}")
+            value = int(tok.text)
+            if self.accept("STAR"):
+                var = self.expect("ID").text
+                result = Affine.var(var, value)
+            else:
+                result = Affine.constant(value)
+        elif tok.kind == "ID":
+            result = Affine.var(tok.text)
+        elif tok.kind == "LPAREN":
+            result = self.parse_affine()
+            self.expect("RPAREN")
+        else:
+            raise ParseError(f"expected affine term, got {tok}")
+        return -result if neg else result
+
+    # -- arithmetic (RHS) ----------------------------------------------------
+
+    def parse_arith(self) -> Expr:
+        expr = self.parse_term()
+        while self.peek().kind in ("PLUS", "MINUS"):
+            op = "+" if self.next().kind == "PLUS" else "-"
+            expr = BinOp(op, expr, self.parse_term())
+        return expr
+
+    def parse_term(self) -> Expr:
+        expr = self.parse_factor()
+        while self.peek().kind in ("STAR", "SLASH"):
+            op = "*" if self.next().kind == "STAR" else "/"
+            expr = BinOp(op, expr, self.parse_factor())
+        return expr
+
+    def parse_factor(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "MINUS":
+            self.next()
+            return UnaryOp("-", self.parse_factor())
+        if tok.kind == "NUM":
+            self.next()
+            return Const(float(tok.text))
+        if tok.kind == "LPAREN":
+            self.next()
+            expr = self.parse_arith()
+            self.expect("RPAREN")
+            return expr
+        if tok.kind == "ID":
+            # Could be a subscripted ref or a scalar parameter use.
+            ref = self.parse_ref()
+            if ref is not None:
+                return Load(ref)
+            name = self.expect("ID").text
+            raise ParseError(
+                f"scalar variable {name!r} on RHS is outside the program model"
+            )
+        raise ParseError(f"expected expression, got {tok}")
+
+    # -- inference helpers -------------------------------------------------
+
+    def _free_names(self, nests: list[LoopNest]) -> set[str]:
+        free: set[str] = set()
+        for nest in nests:
+            bound = set(nest.loop_vars)
+            for lp in nest.loops:
+                free |= set(lp.lower.names) | set(lp.upper.names)
+            for st in nest.body:
+                for ref in st.refs():
+                    for sub in ref.subscripts:
+                        free |= set(sub.names) - bound
+        return free
+
+    def _infer_arrays(self, nests: list[LoopNest]) -> list[ArrayDecl]:
+        """Without ``real`` declarations, infer ``(n+1, ...)`` shapes —
+        adequate for examples and tests."""
+        n_plus = Affine.var("n") + 1 if "n" in self.params else Affine.constant(64)
+        ndims: dict[str, int] = {}
+        for nest in nests:
+            for st in nest.body:
+                for ref in st.refs():
+                    ndims[ref.array] = max(ndims.get(ref.array, 0), ref.ndim)
+        return [
+            ArrayDecl(name, tuple([n_plus] * nd)) for name, nd in sorted(ndims.items())
+        ]
+
+
+def parse_program(source: str, name: str = "program") -> Program:
+    """Parse DSL source into a :class:`~repro.ir.sequence.Program`."""
+    return Parser(source, name).parse_program()
+
+
+def parse_sequence(source: str, name: str = "seq") -> LoopSequence:
+    """Parse DSL source consisting only of loop nests into a sequence."""
+    return parse_program(source, name).sequences[0]

@@ -1,0 +1,51 @@
+"""Machine models, memory layouts, trace generation and timing simulation."""
+
+from .memory import ArrayPlacement, MemoryLayout, contiguous_layout, layout_from_decls
+from .simulator import (
+    RunMeasurement,
+    SpeedupPoint,
+    measure_fused,
+    measure_unfused,
+    speedup_series,
+)
+from .specs import DEFAULT_SCALE, MachineSpec, convex_spp1000, ksr2
+from .topology import (
+    HypernodeTopology,
+    RingTopology,
+    Topology,
+    apply_topology,
+    convex_cti,
+    ksr2_ring,
+)
+from .trace import (
+    box_trace,
+    fused_proc_trace,
+    nest_block_trace,
+    unfused_proc_trace,
+)
+
+__all__ = [
+    "ArrayPlacement",
+    "DEFAULT_SCALE",
+    "HypernodeTopology",
+    "MachineSpec",
+    "MemoryLayout",
+    "RingTopology",
+    "RunMeasurement",
+    "SpeedupPoint",
+    "Topology",
+    "apply_topology",
+    "box_trace",
+    "contiguous_layout",
+    "convex_cti",
+    "convex_spp1000",
+    "fused_proc_trace",
+    "ksr2",
+    "ksr2_ring",
+    "layout_from_decls",
+    "measure_fused",
+    "measure_unfused",
+    "nest_block_trace",
+    "speedup_series",
+    "unfused_proc_trace",
+]

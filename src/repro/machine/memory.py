@@ -1,0 +1,155 @@
+"""Memory layout: array placement in the simulated address space.
+
+Layouts assign each array a starting byte address and a (possibly padded)
+shape.  The two layout families of the paper are built here and in
+:mod:`repro.partition`:
+
+* contiguous layout with optional *intra-array padding* of the innermost
+  dimension (the conventional technique cache partitioning is compared
+  against), and
+* partitioned layout with *gaps between arrays* (built by the greedy
+  algorithm of Fig. 19 in :mod:`repro.partition.greedy`).
+
+Arrays are stored row-major; the innermost (last) dimension is contiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrayPlacement:
+    """One array's placement: start byte, logical and padded shapes."""
+
+    name: str
+    start: int
+    shape: tuple[int, ...]  # logical extents (elements)
+    padded_shape: tuple[int, ...]  # storage extents (elements)
+    elem_size: int = 8
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != len(self.padded_shape):
+            raise ValueError("padded shape must match dimensionality")
+        if any(p < s for p, s in zip(self.padded_shape, self.shape)):
+            raise ValueError("padding cannot shrink an array")
+
+    @property
+    def strides_elems(self) -> tuple[int, ...]:
+        """Row-major element strides of the padded storage."""
+        strides = [1] * len(self.padded_shape)
+        for d in range(len(self.padded_shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * self.padded_shape[d + 1]
+        return tuple(strides)
+
+    @property
+    def size_bytes(self) -> int:
+        """Bytes of storage including padding."""
+        total = self.elem_size
+        for extent in self.padded_shape:
+            total *= extent
+        return total
+
+    @property
+    def end(self) -> int:
+        """First byte past this array's storage."""
+        return self.start + self.size_bytes
+
+    def address(self, index: Sequence[int]) -> int:
+        """Byte address of one element."""
+        offset = 0
+        for idx, stride in zip(index, self.strides_elems):
+            offset += idx * stride
+        return self.start + offset * self.elem_size
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """A complete placement of arrays in one address space."""
+
+    placements: tuple[ArrayPlacement, ...]
+
+    def __post_init__(self) -> None:
+        ordered = sorted(self.placements, key=lambda p: p.start)
+        for before, after in zip(ordered, ordered[1:]):
+            if before.end > after.start:
+                raise ValueError(
+                    f"arrays {before.name} and {after.name} overlap in memory"
+                )
+
+    def __getitem__(self, name: str) -> ArrayPlacement:
+        for pl in self.placements:
+            if pl.name == name:
+                return pl
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(pl.name == name for pl in self.placements)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Array names in declaration order."""
+        return tuple(pl.name for pl in self.placements)
+
+    @property
+    def total_bytes(self) -> int:
+        """Extent from the lowest start to the highest end (includes gaps)."""
+        if not self.placements:
+            return 0
+        return max(pl.end for pl in self.placements) - min(
+            pl.start for pl in self.placements
+        )
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes actually occupied by array storage (excludes gaps)."""
+        return sum(pl.size_bytes for pl in self.placements)
+
+    @property
+    def overhead_bytes(self) -> int:
+        """Memory spent on gaps and padding beyond the logical arrays."""
+        logical = sum(
+            pl.elem_size * int(np.prod(pl.shape)) for pl in self.placements
+        )
+        return self.total_bytes - logical
+
+
+def contiguous_layout(
+    arrays: Iterable[tuple[str, Sequence[int]]],
+    elem_size: int = 8,
+    pad_inner: int = 0,
+    base: int = 0,
+    align: int = 64,
+) -> MemoryLayout:
+    """Arrays placed back to back, each padded by ``pad_inner`` elements in
+    the innermost dimension (the conventional padding technique, Sec. 4)."""
+    placements: list[ArrayPlacement] = []
+    addr = base
+    for name, shape in arrays:
+        shape = tuple(int(s) for s in shape)
+        padded = shape[:-1] + (shape[-1] + pad_inner,)
+        addr = -(-addr // align) * align  # round up
+        pl = ArrayPlacement(name, addr, shape, padded, elem_size)
+        placements.append(pl)
+        addr = pl.end
+    return MemoryLayout(tuple(placements))
+
+
+def layout_from_decls(
+    decls,
+    params: Mapping[str, int],
+    pad_inner: int = 0,
+    base: int = 0,
+    align: int = 64,
+) -> MemoryLayout:
+    """Contiguous layout straight from :class:`~repro.ir.ArrayDecl` objects."""
+    return contiguous_layout(
+        [(d.name, d.concrete_shape(params)) for d in decls],
+        elem_size=decls[0].elem_size if decls else 8,
+        pad_inner=pad_inner,
+        base=base,
+        align=align,
+    )

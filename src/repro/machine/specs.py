@@ -1,0 +1,129 @@
+"""Machine models: the paper's two evaluation platforms.
+
+The models capture exactly the machine characteristics the paper's results
+depend on:
+
+* per-processor cache geometry (capacity / line / associativity),
+* miss latency to local memory and to *remote* memory (remote accesses are
+  what makes an SSMM "scalable but NUMA"; on the Convex SPP-1000 remoteness
+  means crossing a hypernode boundary — 8 CPUs per hypernode),
+* barrier synchronization cost as a function of processor count, and
+* relative processor speed (the Convex's higher clock makes each lost miss
+  more expensive in cycles, which the paper cites as the reason fusion
+  helps more there).
+
+Absolute latencies are representative of mid-1990s hardware; the figures
+reproduced from these models are *shape-faithful*, not cycle-accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cachesim.cache import CacheConfig
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A scalable shared-memory multiprocessor model."""
+
+    name: str
+    max_procs: int
+    clock_mhz: float
+    cache: CacheConfig
+    miss_penalty_local: float  # cycles per cache miss to local memory
+    miss_penalty_remote: float  # cycles per miss crossing the interconnect
+    hypernode_size: int | None  # procs sharing local memory (None = 1 each)
+    barrier_base: float  # cycles per barrier, fixed part
+    barrier_per_proc: float  # cycles per barrier per participating proc
+    ref_cycles: float = 2.0  # compute cycles per array reference (hit)
+    loop_overhead: float = 12.0  # cycles per strip-mined inner-loop header
+    #: Residual per-reference cost of fusion (shorter inner loops pipeline
+    #: slightly worse); the strip-mined method leaves subscripts unchanged,
+    #: so this is small (Sec. 3.4).
+    guard_overhead: float = 0.05
+
+    #: Cap on the fraction of misses served remotely.  Data pages are
+    #: block-distributed (first-touch), so a processor's own block is local
+    #: and only halo/boundary traffic crosses the interconnect.
+    remote_cap: float = 0.15
+
+    def remote_fraction(self, num_procs: int) -> float:
+        """Fraction of misses served by remote memory.
+
+        Block-homed data keeps most misses local; boundary (halo) traffic
+        grows with the number of memory units sharing the data and
+        saturates at ``remote_cap``.  On hypernode machines remoteness only
+        begins once the partition spans more than one hypernode.
+        """
+        if num_procs <= 1:
+            return 0.0
+        if self.hypernode_size is None:
+            units = num_procs
+        else:
+            units = -(-num_procs // self.hypernode_size)  # ceil
+        if units <= 1:
+            return 0.0
+        return self.remote_cap * (units - 1) / units
+
+    def miss_penalty(self, num_procs: int) -> float:
+        """Expected cycles per miss at a given processor count."""
+        rf = self.remote_fraction(num_procs)
+        return (1.0 - rf) * self.miss_penalty_local + rf * self.miss_penalty_remote
+
+    def barrier_cycles(self, num_procs: int) -> float:
+        """Cost of one barrier at the given processor count."""
+        return self.barrier_base + self.barrier_per_proc * num_procs
+
+    def scaled(self, factor: int) -> "MachineSpec":
+        """Shrink the cache by ``factor`` (use together with shrinking the
+        array *footprint* by the same factor so capacity ratios — and hence
+        every fits-in-cache crossover — are preserved)."""
+        return replace(self, cache=self.cache.scaled(factor), name=f"{self.name}/s{factor}")
+
+
+def ksr2(scale: int = 1) -> MachineSpec:
+    """Kendall Square Research KSR2: 40 MHz custom processors, 256 KB
+    2-way set-associative subcache, ring interconnect, up to 56 procs used
+    in the paper.  The ALLCACHE ring makes remote misses expensive."""
+    spec = MachineSpec(
+        name="KSR2",
+        max_procs=56,
+        clock_mhz=40.0,
+        cache=CacheConfig(capacity_bytes=256 * 1024, line_bytes=128, associativity=2),
+        miss_penalty_local=50.0,
+        miss_penalty_remote=150.0,
+        hypernode_size=None,  # every processor has its own local memory
+        barrier_base=400.0,
+        barrier_per_proc=30.0,
+        remote_cap=0.12,
+    )
+    return spec.scaled(scale) if scale > 1 else spec
+
+
+def convex_spp1000(scale: int = 1) -> MachineSpec:
+    """Convex Exemplar SPP-1000: 100 MHz PA-RISC 7100, 1 MB direct-mapped
+    data cache, 8-processor hypernodes connected by a CTI ring; remote
+    (cross-hypernode) misses are several times costlier than local ones."""
+    spec = MachineSpec(
+        name="Convex SPP-1000",
+        max_procs=16,
+        clock_mhz=100.0,
+        cache=CacheConfig(capacity_bytes=1024 * 1024, line_bytes=64, associativity=1),
+        miss_penalty_local=80.0,
+        miss_penalty_remote=400.0,
+        hypernode_size=8,
+        barrier_base=600.0,
+        barrier_per_proc=40.0,
+        remote_cap=0.35,
+    )
+    return spec.scaled(scale) if scale > 1 else spec
+
+
+#: Default linear scale used by the experiment harness: array dimensions
+#: AND cache capacities are both divided by this factor.  Linear scaling
+#: preserves the rows-per-cache-partition ratio that governs inter-nest
+#: reuse (the quantity fusion exploits); the total-data-over-cache ratio —
+#: which sets the fits-in-cache crossover — shrinks by the same factor, so
+#: scaled crossovers appear at roughly (paper processor count) / scale.
+DEFAULT_SCALE = 4

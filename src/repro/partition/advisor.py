@@ -1,0 +1,111 @@
+"""Layout advisor: the compiler's data-layout decision, end to end.
+
+Ties the partitioning pieces into the single decision a compiler makes per
+fused loop (Sec. 4): check reference *compatibility* (repairing it with
+data transforms where the paper's rules apply), build the greedy
+partitioned layout, derive the strip size from the partition size, and
+quantify the memory overhead against what intra-array padding would cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..cachesim.cache import CacheConfig
+from ..ir.sequence import LoopSequence, Program
+from .compatibility import CompatibilityReport, analyze_compatibility
+from .greedy import PartitionedLayout, partitioned_layout_from_decls
+from .padding import padding_overhead_bytes
+
+
+@dataclass(frozen=True)
+class LayoutPlan:
+    """The advisor's complete answer for one fused loop."""
+
+    layout: PartitionedLayout
+    compatibility: tuple[CompatibilityReport, ...]
+    repairs: tuple[str, ...]  # data transforms needed for compatibility
+    unresolved: tuple[str, ...]  # incompatible pairs with no known repair
+    strip: int
+    gap_overhead_bytes: int
+    padding_overhead_bytes: int  # what pad=19 (paper's minimum) would cost
+
+    @property
+    def fully_compatible(self) -> bool:
+        return not self.repairs and not self.unresolved
+
+    @property
+    def conflict_free(self) -> bool:
+        """Partitioning guarantees conflict freedom only for compatible
+        (possibly repaired) references."""
+        return not self.unresolved
+
+    def describe(self) -> str:
+        lines = [
+            f"partition size: {self.layout.partition_bytes} B, "
+            f"strip: {self.strip}",
+            f"gap overhead: {self.gap_overhead_bytes} B "
+            f"(padding at 19 elems would cost {self.padding_overhead_bytes} B)",
+        ]
+        if self.fully_compatible:
+            lines.append("all references compatible: conflict-free layout")
+        for repair in self.repairs:
+            lines.append(f"repair needed: {repair}")
+        for bad in self.unresolved:
+            lines.append(f"UNRESOLVED incompatibility: {bad}")
+        for rec in self.layout.assignments:
+            lines.append(
+                f"  {rec.array}: partition {rec.partition}, gap {rec.gap_bytes} B"
+            )
+        return "\n".join(lines)
+
+
+def plan_layout(
+    program: Program,
+    seq: LoopSequence,
+    params: Mapping[str, int],
+    cache: CacheConfig,
+    reference_pad: int = 19,
+) -> LayoutPlan:
+    """Produce the complete layout decision for ``seq`` on ``cache``."""
+    fused_vars = seq[0].loop_vars
+    reports = tuple(analyze_compatibility(list(seq), fused_vars))
+    repairs = tuple(
+        f"{r.array_a}/{r.array_b}: {r.fix}" for r in reports
+        if not r.compatible and r.fix
+    )
+    unresolved = tuple(
+        f"{r.array_a}/{r.array_b}" for r in reports
+        if not r.compatible and not r.fix
+    )
+
+    used = seq.arrays()
+    decls = [d for d in program.arrays if d.name in used]
+    layout = partitioned_layout_from_decls(decls, params, cache)
+
+    # Strip size: each array's per-strip footprint (strip x widest inner
+    # row) must fit its partition (Sec. 4).
+    inner = 1
+    for nest in seq:
+        row = 1
+        for lp in nest.loops[1:]:
+            row *= max(1, lp.trip_count(params))
+        inner = max(inner, row)
+    elem = decls[0].elem_size if decls else 8
+    strip = max(1, layout.partition_bytes // max(1, inner * elem))
+
+    pad_cost = padding_overhead_bytes(
+        [(d.name, d.concrete_shape(params)) for d in decls],
+        reference_pad,
+        elem,
+    )
+    return LayoutPlan(
+        layout=layout,
+        compatibility=reports,
+        repairs=repairs,
+        unresolved=unresolved,
+        strip=strip,
+        gap_overhead_bytes=layout.gap_overhead_bytes,
+        padding_overhead_bytes=pad_cost,
+    )

@@ -1,0 +1,131 @@
+"""Compatibility analysis for cache partitioning (paper Sec. 4).
+
+References to two arrays are *compatible* when their access matrices are
+identical (``h_A = h_B``): the arrays then stream through the cache with
+the same stride and direction, so partitioned starting addresses stay
+conflict-free for the whole loop execution.  When the matrices differ only
+by a row permutation, a stride, or a sign, the paper points out data
+transforms (dimension permutation, compression/expansion, storage
+reversal) that restore compatibility; this module detects those cases and
+names the transform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..ir.access import ArrayRef
+from ..ir.loop import LoopNest
+
+Matrix = tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class CompatibilityReport:
+    """Verdict for one pair of arrays."""
+
+    array_a: str
+    array_b: str
+    compatible: bool
+    fix: str | None = None  # data transform restoring compatibility, if any
+
+    def __str__(self) -> str:
+        if self.compatible:
+            return f"{self.array_a} ~ {self.array_b}: compatible"
+        fix = self.fix or "none known"
+        return f"{self.array_a} !~ {self.array_b}: incompatible (fix: {fix})"
+
+
+def _representative_matrix(
+    refs: Sequence[ArrayRef], loop_vars: Sequence[str]
+) -> Matrix | None:
+    """The shared access matrix of an array's references, or None if the
+    array's own references disagree (offsets are irrelevant)."""
+    mats = {ref.access_matrix(loop_vars) for ref in refs}
+    if len(mats) != 1:
+        return None
+    return next(iter(mats))
+
+
+def _is_row_permutation(a: Matrix, b: Matrix) -> bool:
+    return len(a) == len(b) and sorted(a) == sorted(b)
+
+
+def _differs_by_stride(a: Matrix, b: Matrix) -> bool:
+    if len(a) != len(b):
+        return False
+    scaled_rows = 0
+    for ra, rb in zip(a, b):
+        if ra == rb:
+            continue
+        nza = [c for c in ra if c]
+        nzb = [c for c in rb if c]
+        if len(nza) == 1 and len(nzb) == 1:
+            ia = ra.index(nza[0])
+            ib = rb.index(nzb[0])
+            if ia == ib and nza[0] * nzb[0] > 0:
+                scaled_rows += 1
+                continue
+        return False
+    return scaled_rows > 0
+
+
+def _differs_by_sign(a: Matrix, b: Matrix) -> bool:
+    if len(a) != len(b):
+        return False
+    flipped = 0
+    for ra, rb in zip(a, b):
+        if ra == rb:
+            continue
+        if tuple(-c for c in ra) == rb:
+            flipped += 1
+            continue
+        return False
+    return flipped > 0
+
+
+def classify_pair(
+    name_a: str, mat_a: Matrix, name_b: str, mat_b: Matrix
+) -> CompatibilityReport:
+    if mat_a == mat_b:
+        return CompatibilityReport(name_a, name_b, True)
+    if _is_row_permutation(mat_a, mat_b):
+        return CompatibilityReport(
+            name_a, name_b, False, fix="permute array dimensions"
+        )
+    if _differs_by_sign(mat_a, mat_b):
+        return CompatibilityReport(
+            name_a, name_b, False, fix="reverse storage order in the flipped dimension"
+        )
+    if _differs_by_stride(mat_a, mat_b):
+        return CompatibilityReport(
+            name_a, name_b, False, fix="compress/expand along the strided dimension"
+        )
+    return CompatibilityReport(name_a, name_b, False)
+
+
+def analyze_compatibility(
+    nests: Sequence[LoopNest], loop_vars: Sequence[str]
+) -> list[CompatibilityReport]:
+    """Pairwise compatibility of every array referenced in the nests,
+    restricted to the given (fused) loop variables."""
+    refs_by_array: dict[str, list[ArrayRef]] = {}
+    for nest in nests:
+        for ref in nest.refs():
+            refs_by_array.setdefault(ref.array, []).append(ref)
+    mats: dict[str, Matrix] = {}
+    for name, refs in refs_by_array.items():
+        mat = _representative_matrix(refs, loop_vars)
+        if mat is not None:
+            mats[name] = mat
+    names = sorted(mats)
+    reports = []
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            reports.append(classify_pair(a, mats[a], b, mats[b]))
+    return reports
+
+
+def all_compatible(reports: Sequence[CompatibilityReport]) -> bool:
+    return all(r.compatible for r in reports)

@@ -1,0 +1,138 @@
+"""Cache partitioning: the greedy memory-layout algorithm (paper Fig. 19).
+
+The cache is divided into ``n_a`` equal software partitions, one per array.
+Arrays are placed in memory one by one; before each placement a *gap* is
+inserted so the array's starting address maps to the start of a still-free
+partition, choosing the partition that minimizes the gap (the greedy step).
+The result is a conflict-free mapping for compatible references: each
+array's streaming window lives in its own partition and the partitions
+drift through the cache in lockstep without overlapping.
+
+For a set-associative cache of associativity ``a`` the target addresses are
+computed as ``floor(p / a) * sp`` (the paper's one-line modification): ``a``
+arrays may share a set range because the hardware keeps them apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..cachesim.cache import CacheConfig
+from ..ir.sequence import ArrayDecl
+from ..machine.memory import ArrayPlacement, MemoryLayout
+
+
+@dataclass(frozen=True)
+class PartitionAssignment:
+    """Diagnostic record: which partition each array landed in."""
+
+    array: str
+    partition: int
+    target_cache_address: int
+    gap_bytes: int
+
+
+@dataclass(frozen=True)
+class PartitionedLayout:
+    """A cache-partitioned memory layout plus its assignment records."""
+
+    layout: MemoryLayout
+    partition_bytes: int
+    assignments: tuple[PartitionAssignment, ...]
+
+    @property
+    def gap_overhead_bytes(self) -> int:
+        return sum(a.gap_bytes for a in self.assignments)
+
+
+def greedy_memory_layout(
+    arrays: Sequence[tuple[str, Sequence[int]]],
+    cache: CacheConfig,
+    elem_size: int = 8,
+    base: int = 0,
+    order: Sequence[str] | None = None,
+) -> PartitionedLayout:
+    """GREEDYMEMORYLAYOUT of Fig. 19 (with the set-associative refinement).
+
+    ``arrays`` are ``(name, logical shape)`` pairs; ``order`` optionally
+    fixes the placement order (the paper notes selection is arbitrary).
+    """
+    if not arrays:
+        raise ValueError("no arrays to lay out")
+    names = [name for name, _ in arrays]
+    if order is not None:
+        missing = set(order) ^ set(names)
+        if missing:
+            raise ValueError(f"order must be a permutation of arrays: {missing}")
+        by_name = dict(arrays)
+        arrays = [(name, by_name[name]) for name in order]
+
+    na = len(arrays)
+    way = cache.way_bytes  # conflict-mapping period (capacity of one way)
+    assoc = cache.associativity
+    sp = (cache.capacity_bytes // na) or cache.line_bytes  # partition size
+    available = set(range(na))
+    q = base
+    placements: list[ArrayPlacement] = []
+    records: list[PartitionAssignment] = []
+
+    for name, shape in arrays:
+        mapped = q % way
+        best_p = None
+        best_gap = None
+        best_target = 0
+        for p in sorted(available):
+            target = ((p // assoc) * sp) % way
+            gap = target - mapped
+            if target < mapped:
+                gap += way  # wraparound in the cache
+            if best_gap is None or gap < best_gap:
+                best_p, best_gap, best_target = p, gap, target
+        available.remove(best_p)
+        start = q + best_gap
+        shape = tuple(int(s) for s in shape)
+        pl = ArrayPlacement(name, start, shape, shape, elem_size)
+        placements.append(pl)
+        records.append(
+            PartitionAssignment(
+                array=name,
+                partition=best_p,
+                target_cache_address=best_target,
+                gap_bytes=best_gap,
+            )
+        )
+        q = pl.end
+    return PartitionedLayout(
+        layout=MemoryLayout(tuple(placements)),
+        partition_bytes=sp,
+        assignments=tuple(records),
+    )
+
+
+def partitioned_layout_from_decls(
+    decls: Iterable[ArrayDecl],
+    params: Mapping[str, int],
+    cache: CacheConfig,
+    base: int = 0,
+    order: Sequence[str] | None = None,
+) -> PartitionedLayout:
+    decls = list(decls)
+    return greedy_memory_layout(
+        [(d.name, d.concrete_shape(params)) for d in decls],
+        cache,
+        elem_size=decls[0].elem_size if decls else 8,
+        base=base,
+        order=order,
+    )
+
+
+def max_strip_elements(
+    partition_bytes: int, elem_size: int, rows_live: int = 1
+) -> int:
+    """Largest strip size such that each array's per-strip working set
+    (``rows_live`` stencil rows of ``strip`` elements) fits in one cache
+    partition (Sec. 4: larger strips overflow into neighbouring partitions
+    and reintroduce conflicts)."""
+    per_row = max(1, rows_live) * elem_size
+    return max(1, partition_bytes // per_row)

@@ -1,0 +1,24 @@
+"""Execution: reference interpreter, compiled runner, simulated parallelism."""
+
+from .interp import (
+    CompiledNest,
+    compile_nest,
+    run_nest,
+    run_program,
+    run_sequence_compiled,
+    run_sequence_serial,
+)
+from .parallel import fused_work, peeled_work, run_parallel, run_unfused_parallel
+
+__all__ = [
+    "CompiledNest",
+    "compile_nest",
+    "fused_work",
+    "peeled_work",
+    "run_nest",
+    "run_parallel",
+    "run_program",
+    "run_sequence_compiled",
+    "run_sequence_serial",
+    "run_unfused_parallel",
+]

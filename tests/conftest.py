@@ -1,0 +1,86 @@
+"""Shared fixtures: the paper's running examples and small helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import Affine, ArrayDecl, Loop, LoopNest, LoopSequence, assign, load
+
+
+@pytest.fixture
+def n_var():
+    return Affine.var("n")
+
+
+def make_1d_nest(name, write, body_builder, lower=2, parallel=True):
+    """One-statement 1-D nest ``write[i] = body_builder(i)`` over 2..n-1."""
+    i = Affine.var("i")
+    n = Affine.var("n")
+    return LoopNest(
+        (Loop.make("i", lower, n - 1, parallel=parallel),),
+        (assign(write, i, body_builder(i)),),
+        name=name,
+    )
+
+
+@pytest.fixture
+def fig9_sequence():
+    """Paper Fig. 9: L1 a=b; L2 c=a[i+1]+a[i-1]; L3 d=c[i+1]+c[i-1]."""
+    return LoopSequence(
+        (
+            make_1d_nest("L1", "a", lambda i: load("b", i)),
+            make_1d_nest("L2", "c", lambda i: load("a", i + 1) + load("a", i - 1)),
+            make_1d_nest("L3", "d", lambda i: load("c", i + 1) + load("c", i - 1)),
+        ),
+        name="fig9",
+    )
+
+
+@pytest.fixture
+def fig13_sequence():
+    """Paper Fig. 13: L1 a[i]=b[i-1]; L2 b[i]=a[i-1] (both directions)."""
+    return LoopSequence(
+        (
+            make_1d_nest("L1", "a", lambda i: load("b", i - 1)),
+            make_1d_nest("L2", "b", lambda i: load("a", i - 1)),
+        ),
+        name="fig13",
+    )
+
+
+@pytest.fixture
+def fig4_sequence():
+    """Paper Fig. 4: serializing (forward) dependence only."""
+    return LoopSequence(
+        (
+            make_1d_nest("L1", "a", lambda i: load("b", i)),
+            make_1d_nest("L2", "c", lambda i: load("a", i) + load("a", i - 1)),
+        ),
+        name="fig4",
+    )
+
+
+@pytest.fixture
+def jacobi_sequence():
+    from repro.kernels import jacobi
+
+    return jacobi.program().sequences[0]
+
+
+def alloc_1d(names, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return {name: rng.random(size) + 0.5 for name in names}
+
+
+def alloc_2d(names, shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return {name: rng.random(shape) + 0.5 for name in names}
+
+
+def copy_arrays(arrays):
+    return {k: v.copy() for k, v in arrays.items()}
+
+
+def arrays_equal(a, b):
+    return all(np.allclose(a[k], b[k]) for k in a)

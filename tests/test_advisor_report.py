@@ -1,0 +1,88 @@
+"""Layout advisor and the consolidated reproduction report."""
+
+import pytest
+
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+from repro.kernels import get_kernel
+from repro.machine import convex_spp1000
+from repro.partition import plan_layout
+
+i = Affine.var("i")
+j = Affine.var("j")
+n = Affine.var("n")
+
+
+class TestLayoutAdvisor:
+    def _plan(self, kernel="ll18", params=None, cache_scale=4):
+        info = get_kernel(kernel)
+        program = info.program()
+        machine = convex_spp1000().scaled(cache_scale)
+        return plan_layout(
+            program,
+            program.sequences[0],
+            params or {"n": 127},
+            machine.cache,
+        )
+
+    def test_ll18_fully_compatible(self):
+        plan = self._plan()
+        assert plan.fully_compatible
+        assert plan.conflict_free
+        assert plan.strip >= 1
+        assert len(plan.layout.assignments) == 9
+
+    def test_overhead_comparison(self):
+        plan = self._plan()
+        # Both overheads exist; gaps are bounded by n_arrays * way size.
+        assert plan.gap_overhead_bytes >= 0
+        assert plan.padding_overhead_bytes > 0
+
+    def test_describe(self):
+        text = self._plan().describe()
+        assert "partition size" in text
+        assert "conflict-free" in text
+
+    def test_incompatible_pair_reported(self):
+        from repro.ir import ArrayDecl, single_sequence_program
+
+        nest = LoopNest(
+            (Loop.make("j", 1, n - 2), Loop.make("i", 1, n - 2, parallel=False)),
+            (
+                assign("a", (j, i), load("b", i, j)),  # transposed read
+            ),
+        )
+        prog = single_sequence_program(
+            [nest],
+            [ArrayDecl.make("a", n, n), ArrayDecl.make("b", n, n)],
+            ("n",),
+        )
+        plan = plan_layout(
+            prog, prog.sequences[0], {"n": 64},
+            convex_spp1000().scaled(16).cache,
+        )
+        assert not plan.fully_compatible
+        assert any("permute" in r for r in plan.repairs)
+        assert plan.conflict_free  # a repair exists
+
+    def test_strip_respects_partition(self):
+        plan = self._plan()
+        row_bytes = 125 * 8  # inner trip at n=127 (bounds 2..n-1)
+        assert plan.strip * row_bytes <= plan.layout.partition_bytes
+
+
+class TestReport:
+    @pytest.mark.slow
+    def test_quick_report_all_claims_hold(self):
+        from repro.experiments import generate_report
+
+        report = generate_report(quick=True)
+        failed = [
+            (s.name, claim)
+            for s in report.sections
+            for claim, ok in s.checks
+            if not ok
+        ]
+        assert not failed, failed
+        text = report.format()
+        assert "ALL CLAIMS REPRODUCED" in text
+        assert "Table 2" in text and "Fig. 26" in text

@@ -1,0 +1,121 @@
+"""Fusion correctness for every application sequence + barrier parsing."""
+
+import numpy as np
+import pytest
+
+from conftest import arrays_equal, copy_arrays
+
+from repro.core import build_execution_plan, derive_shift_peel, max_processors
+from repro.kernels import get_kernel
+from repro.runtime import run_parallel, run_sequence_serial
+
+
+def _alloc(program, shape_params, seed):
+    rng = np.random.default_rng(seed)
+    return {
+        d.name: rng.random(d.concrete_shape(shape_params)) + 1.0
+        for d in program.arrays
+    }
+
+
+class TestApplicationSequences:
+    @pytest.mark.parametrize("seq_idx", range(3))
+    def test_hydro2d_sequences(self, seq_idx):
+        info = get_kernel("hydro2d")
+        program = info.program()
+        seq = program.sequences[seq_idx]
+        params = {"m": 41, "n": 25}
+        base = _alloc(program, params, seed=seq_idx)
+        oracle = copy_arrays(base)
+        run_sequence_serial(seq, params, oracle)
+        plan = derive_shift_peel(seq, program.params, 1)
+        procs = min(3, max_processors(plan, params)[0])
+        ep = build_execution_plan(plan, params, num_procs=procs)
+        got = copy_arrays(base)
+        run_parallel(ep, got, interleave="random", rng=np.random.default_rng(1))
+        assert arrays_equal(oracle, got), seq.name
+
+    @pytest.mark.parametrize("seq_idx", range(11))
+    def test_spem_sequences(self, seq_idx):
+        info = get_kernel("spem")
+        program = info.program()
+        seq = program.sequences[seq_idx]
+        params = {"n": 17, "p": 5}
+        base = _alloc(program, params, seed=seq_idx)
+        oracle = copy_arrays(base)
+        run_sequence_serial(seq, params, oracle)
+        plan = derive_shift_peel(seq, program.params, 1)
+        procs = min(3, max_processors(plan, params)[0])
+        ep = build_execution_plan(plan, params, num_procs=procs)
+        got = copy_arrays(base)
+        run_parallel(ep, got, interleave="random", rng=np.random.default_rng(2))
+        assert arrays_equal(oracle, got), seq.name
+
+    def test_spem_whole_timestep(self):
+        """All eleven sequences in program order, each fused: the whole
+        time step must still match the unfused whole time step."""
+        info = get_kernel("spem")
+        program = info.program()
+        params = {"n": 17, "p": 5}
+        base = _alloc(program, params, seed=42)
+        oracle = copy_arrays(base)
+        for seq in program.sequences:
+            run_sequence_serial(seq, params, oracle)
+        got = copy_arrays(base)
+        for seq in program.sequences:
+            plan = derive_shift_peel(seq, program.params, 1)
+            procs = min(2, max_processors(plan, params)[0])
+            ep = build_execution_plan(plan, params, num_procs=procs)
+            run_parallel(ep, got, interleave="roundrobin")
+        assert arrays_equal(oracle, got)
+
+
+class TestBarrierSeparatedParsing:
+    SRC = """
+param n
+real a(n+1), b(n+1), c(n+1)
+doall i = 2, n-1
+    a[i] = b[i]
+end do
+doall i = 2, n-1
+    c[i] = a[i+1] + a[i-1]
+end do
+barrier
+doall i = 2, n-1
+    b[i] = c[i]
+end do
+"""
+
+    def test_two_sequences(self):
+        from repro.lang import parse_program
+
+        prog = parse_program(self.SRC, "two")
+        assert len(prog.sequences) == 2
+        assert len(prog.sequences[0]) == 2
+        assert len(prog.sequences[1]) == 1
+        assert prog.sequences[0].name.endswith("seq1")
+
+    def test_single_sequence_name_unchanged(self):
+        from repro.lang import parse_program
+
+        prog = parse_program(
+            "doall i = 1, n\n a[i] = b[i]\nend do", "one"
+        )
+        assert prog.sequences[0].name == "one.seq"
+
+    def test_leading_barrier_ignored(self):
+        from repro.lang import parse_program
+
+        prog = parse_program(
+            "barrier\ndoall i = 1, n\n a[i] = b[i]\nend do", "lead"
+        )
+        assert len(prog.sequences) == 1
+
+    def test_each_sequence_fusable_independently(self):
+        from repro.core import fuse_sequence
+        from repro.lang import parse_program
+
+        prog = parse_program(self.SRC, "two")
+        results = [fuse_sequence(s, prog.params) for s in prog.sequences]
+        assert results[0].plan.max_shift == 1
+        assert results[1].plan.max_shift == 0

@@ -1,0 +1,150 @@
+"""Baselines: naive fusion partitioner, alignment with replication."""
+
+import numpy as np
+import pytest
+
+from conftest import alloc_1d, arrays_equal, copy_arrays
+
+from repro.baselines import (
+    AlignmentError,
+    derive_alignment,
+    naive_fusion_partition,
+)
+from repro.ir import (
+    Affine,
+    ArrayDecl,
+    Loop,
+    LoopNest,
+    LoopSequence,
+    assign,
+    load,
+    single_sequence_program,
+)
+from repro.runtime import run_nest, run_parallel, run_sequence_serial
+
+i = Affine.var("i")
+n = Affine.var("n")
+
+
+class TestNaivePartition:
+    def test_fig9_cannot_fuse(self, fig9_sequence):
+        part = naive_fusion_partition(fig9_sequence, ("n",))
+        assert part.groups == ((0,), (1,), (2,))
+        assert part.synchronizations() == 3
+
+    def test_plain_chain_fuses(self):
+        l1 = LoopNest((Loop.make("i", 2, n - 1),), (assign("a", i, load("b", i)),))
+        l2 = LoopNest((Loop.make("i", 2, n - 1),), (assign("c", i, load("a", i)),))
+        part = naive_fusion_partition(LoopSequence((l1, l2)), ("n",))
+        assert part.groups == ((0, 1),)
+        assert part.largest_group == 2
+
+    def test_bound_mismatch_blocks(self):
+        l1 = LoopNest((Loop.make("i", 2, n - 1),), (assign("a", i, load("b", i)),))
+        l2 = LoopNest((Loop.make("i", 1, n),), (assign("c", i, load("a", i)),))
+        part = naive_fusion_partition(LoopSequence((l1, l2)), ("n",))
+        assert part.num_fused_loops == 2
+
+    def test_shift_and_peel_beats_naive_on_kernels(self):
+        from repro.kernels import get_kernel
+
+        for name in ("ll18", "calc", "filter"):
+            info = get_kernel(name)
+            seq = info.program().sequences[0]
+            part = naive_fusion_partition(seq, info.program().params)
+            # Naive fusion leaves more than one loop (and hence barriers);
+            # shift-and-peel always reaches a single fused loop.
+            assert part.num_fused_loops > 1, name
+
+
+def fig14_program():
+    """Paper Fig. 14: L1 a[i]=b[i-1]; L2 b[i]=a[i-1] — alignment conflict."""
+    l1 = LoopNest(
+        (Loop.make("i", 2, n - 1),), (assign("a", i, load("b", i - 1)),), name="L1"
+    )
+    l2 = LoopNest(
+        (Loop.make("i", 2, n - 1),), (assign("b", i, load("a", i - 1)),), name="L2"
+    )
+    decls = [ArrayDecl.make("a", n + 1), ArrayDecl.make("b", n + 1)]
+    return single_sequence_program([l1, l2], decls, ("n",), "fig14")
+
+
+class TestAlignmentFig14:
+    def test_replicates_data_only(self):
+        # Fig. 14's published resolution: replicate array b into b0; the
+        # flow dependence on a is handled purely by alignment.
+        res = derive_alignment(fig14_program())
+        assert res.replicated_arrays == ("b",)
+        assert res.replicated_statements == 0
+        assert [c.name for c in res.copy_nests] == ["copy_b"]
+        assert min(res.offsets) == 0  # normalized lags
+
+    def test_exact_correctness(self):
+        prog = fig14_program()
+        res = derive_alignment(prog)
+        params = {"n": 25}
+        base = alloc_1d("ab", 26, seed=3)
+        oracle = copy_arrays(base)
+        run_sequence_serial(prog.sequences[0], params, oracle)
+        for procs in (1, 2, 4):
+            got = copy_arrays(base)
+            for name in res.replicated_arrays:
+                got[name + "0"] = np.zeros(26)
+            for cn in res.copy_nests:
+                run_nest(cn, params, got)
+            ep = res.execution_plan(params, procs)
+            run_parallel(ep, got, interleave="random", rng=np.random.default_rng(1))
+            for name in ("a", "b"):
+                assert np.allclose(got[name], oracle[name]), (procs, name)
+
+
+class TestAlignmentLL18:
+    def test_paper_replication_counts(self):
+        """Sec. 5: LL18 needs two arrays and two statements replicated."""
+        from repro.kernels import ll18
+
+        res = derive_alignment(ll18.program())
+        assert sorted(res.replicated_arrays) == ["zr", "zz"]
+        assert res.replicated_statements == 2
+
+    def test_interior_correctness(self):
+        from repro.kernels import ll18
+
+        prog = ll18.program()
+        res = derive_alignment(prog)
+        params = {"n": 20}
+        rng = np.random.default_rng(5)
+        base = {a: rng.random((21, 21)) + 1.0 for a in ll18.ARRAYS}
+        oracle = copy_arrays(base)
+        run_sequence_serial(prog.sequences[0], params, oracle)
+        got = copy_arrays(base)
+        for name in res.replicated_arrays:
+            got[name + "0"] = np.zeros((21, 21))
+        for cn in res.copy_nests:
+            run_nest(cn, params, got)
+        ep = res.execution_plan(params, 3)
+        run_parallel(ep, got, interleave="random", rng=np.random.default_rng(2))
+        interior = (slice(3, 18), slice(3, 18))
+        for name in base:
+            assert np.allclose(got[name][interior], oracle[name][interior]), name
+
+    def test_shadow_decls(self):
+        from repro.kernels import ll18
+
+        res = derive_alignment(ll18.program())
+        decls = res.shadow_decls()
+        assert {d.name for d in decls} == {"zr0", "zz0"}
+        assert decls[0].shape == ll18.program().array("zr").shape
+
+    def test_offsets_synchronization_free(self):
+        """After replication, every remaining dependence is loop-independent
+        (gap zero) — the defining property of the alignment baseline."""
+        from repro.dependence import analyze_sequence
+        from repro.kernels import ll18
+
+        prog = ll18.program()
+        res = derive_alignment(prog)
+        summary = analyze_sequence(res.seq, prog.params, 1)
+        for dep in summary.deps:
+            gap = dep.distance[0] + res.offsets[dep.dst] - res.offsets[dep.src]
+            assert gap == 0, str(dep)

@@ -1,0 +1,158 @@
+"""Cache simulator: geometry, direct-mapped, 2-way, general LRU, warm state."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    Cache,
+    CacheConfig,
+    CacheStats,
+    simulate,
+    simulate_2way_lru,
+    simulate_direct_mapped,
+    simulate_set_associative,
+)
+
+
+class TestConfig:
+    def test_geometry(self):
+        cfg = CacheConfig(1024, 64, 2)
+        assert cfg.num_lines == 16
+        assert cfg.num_sets == 8
+        assert cfg.way_bytes == 512
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1000, 64, 1)
+        with pytest.raises(ValueError):
+            CacheConfig(0, 64, 1)
+
+    def test_scaled(self):
+        cfg = CacheConfig(1024 * 1024, 64, 2).scaled(3)
+        assert cfg.capacity_bytes % 128 == 0
+        assert cfg.capacity_bytes <= 1024 * 1024 // 3
+
+    def test_map_address(self):
+        cfg = CacheConfig(1024, 64, 1)
+        assert cfg.map_address(1024 + 5) == 5
+
+
+class TestDirectMapped:
+    CFG = CacheConfig(256, 64, 1)  # 4 lines
+
+    def test_cold_misses(self):
+        addrs = np.array([0, 64, 128, 192], dtype=np.int64)
+        stats = simulate_direct_mapped(addrs, self.CFG)
+        assert stats.misses == 4
+
+    def test_hits_within_line(self):
+        addrs = np.array([0, 8, 16, 63], dtype=np.int64)
+        assert simulate_direct_mapped(addrs, self.CFG).misses == 1
+
+    def test_conflict_thrashing(self):
+        # Two addresses mapping to the same set alternate: always miss.
+        addrs = np.array([0, 256, 0, 256, 0, 256], dtype=np.int64)
+        assert simulate_direct_mapped(addrs, self.CFG).misses == 6
+
+    def test_reuse_hit(self):
+        addrs = np.array([0, 64, 0, 64], dtype=np.int64)
+        assert simulate_direct_mapped(addrs, self.CFG).misses == 2
+
+    def test_empty_trace(self):
+        stats = simulate_direct_mapped(np.empty(0, dtype=np.int64), self.CFG)
+        assert stats.accesses == 0 and stats.misses == 0
+
+    def test_stats_arithmetic(self):
+        s = CacheStats(10, 4) + CacheStats(5, 1)
+        assert (s.accesses, s.misses, s.hits) == (15, 5, 10)
+        assert s.miss_rate == pytest.approx(1 / 3)
+
+
+class TestTwoWay:
+    CFG = CacheConfig(256, 64, 2)  # 2 sets, 2 ways
+
+    def test_two_conflicting_lines_coexist(self):
+        addrs = np.array([0, 128, 0, 128, 0, 128], dtype=np.int64)
+        # Both map to set 0; 2-way keeps both: 2 cold misses only.
+        assert simulate_2way_lru(addrs, self.CFG).misses == 2
+
+    def test_three_way_thrash(self):
+        addrs = np.array([0, 128, 256, 0, 128, 256], dtype=np.int64)
+        # LRU with 3 distinct tags in a 2-way set: all miss.
+        assert simulate_2way_lru(addrs, self.CFG).misses == 6
+
+    def test_lru_order_matters(self):
+        # 0, 128, 0, 256: the 256 evicts 128 (LRU), not 0.
+        addrs = np.array([0, 128, 0, 256, 0], dtype=np.int64)
+        assert simulate_2way_lru(addrs, self.CFG).misses == 3
+
+    def test_requires_assoc2(self):
+        with pytest.raises(ValueError):
+            simulate_2way_lru(np.array([0]), CacheConfig(256, 64, 4))
+
+
+def _reference_lru(addrs, config):
+    """Straightforward per-access LRU simulation (test oracle)."""
+    lines = addrs // config.line_bytes
+    sets = lines % config.num_sets
+    tags = lines // config.num_sets
+    state: dict[int, list[int]] = {}
+    misses = 0
+    for s, t in zip(sets.tolist(), tags.tolist()):
+        ways = state.setdefault(s, [])
+        if t in ways:
+            ways.remove(t)
+            ways.insert(0, t)
+        else:
+            misses += 1
+            ways.insert(0, t)
+            if len(ways) > config.associativity:
+                ways.pop()
+    return misses
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_random_traces(self, assoc):
+        cfg = CacheConfig(2048, 64, assoc)
+        rng = np.random.default_rng(assoc)
+        for _ in range(12):
+            n = int(rng.integers(1, 2000))
+            addrs = rng.integers(0, 8192, n).astype(np.int64)
+            assert simulate(addrs, cfg).misses == _reference_lru(addrs, cfg)
+
+    def test_skewed_traces(self):
+        cfg = CacheConfig(1024, 64, 2)
+        rng = np.random.default_rng(9)
+        # Hot-set heavy traces stress the collapse logic.
+        addrs = (rng.integers(0, 4, 5000) * 512).astype(np.int64)
+        assert simulate(addrs, cfg).misses == _reference_lru(addrs, cfg)
+
+
+class TestStatefulCache:
+    def test_warm_second_pass(self):
+        cfg = CacheConfig(512, 64, 1)
+        cache = Cache(cfg)
+        trace = np.arange(0, 512, 64, dtype=np.int64)
+        first = cache.access_trace(trace)
+        second = cache.access_trace(trace)
+        assert first.misses == 8
+        assert second.misses == 0
+        assert cache.stats.accesses == 16
+
+    def test_reset(self):
+        cfg = CacheConfig(512, 64, 1)
+        cache = Cache(cfg)
+        cache.access_trace(np.array([0], dtype=np.int64))
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access_trace(np.array([0], dtype=np.int64)).misses == 1
+
+    def test_matches_functional_on_concat(self):
+        cfg = CacheConfig(1024, 64, 2)
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 4096, 500).astype(np.int64)
+        b = rng.integers(0, 4096, 500).astype(np.int64)
+        cache = Cache(cfg)
+        total = cache.access_trace(a).misses + cache.access_trace(b).misses
+        assert total == simulate(np.concatenate((a, b)), cfg).misses

@@ -1,0 +1,186 @@
+"""Miss classification, TLB model, fusable-set grouping."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import (
+    CacheConfig,
+    MissBreakdown,
+    TLBConfig,
+    classify_misses,
+    fully_associative_misses,
+    simulate_tlb,
+)
+from repro.core import group_fusable
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+
+i = Affine.var("i")
+n = Affine.var("n")
+
+
+class TestMissClassification:
+    CFG = CacheConfig(256, 64, 1)  # 4 lines, direct-mapped
+
+    def test_pure_cold(self):
+        addrs = np.array([0, 64, 128, 192], dtype=np.int64)
+        b = classify_misses(addrs, self.CFG)
+        assert (b.cold, b.capacity, b.conflict) == (4, 0, 0)
+
+    def test_pure_conflict(self):
+        # Two lines in the same set, alternating: fully-associative holds
+        # both, direct-mapped thrashes.
+        addrs = np.array([0, 256] * 5, dtype=np.int64)
+        b = classify_misses(addrs, self.CFG)
+        assert b.cold == 2
+        assert b.capacity == 0
+        assert b.conflict == 8
+
+    def test_pure_capacity(self):
+        # Cycle over 8 distinct lines (> 4-line capacity): even the
+        # fully-associative cache misses every access under LRU.
+        addrs = np.tile(np.arange(8) * 64, 3).astype(np.int64)
+        b = classify_misses(addrs, self.CFG)
+        assert b.cold == 8
+        assert b.capacity == 16
+        assert b.total == 24
+
+    def test_totals_consistent(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 4096, 2000).astype(np.int64)
+        from repro.cachesim import simulate
+
+        b = classify_misses(addrs, self.CFG)
+        assert b.total == simulate(addrs, self.CFG).misses
+
+    def test_partitioning_removes_conflict_not_capacity(self):
+        """Cache partitioning's whole effect is on the conflict bucket."""
+        from repro.experiments.common import setup_kernel
+        from repro.machine import convex_spp1000, unfused_proc_trace
+
+        cont = setup_kernel(
+            "ll18", convex_spp1000(), 4, layout_kind="contiguous",
+            params={"n": 63},
+        )
+        part = setup_kernel(
+            "ll18", convex_spp1000(), 4, layout_kind="partitioned",
+            params={"n": 63},
+        )
+        cfg = cont.machine.cache
+        t_cont = unfused_proc_trace(cont.seq, cont.params, cont.layout)
+        t_part = unfused_proc_trace(part.seq, part.params, part.layout)
+        b_cont = classify_misses(t_cont, cfg)
+        b_part = classify_misses(t_part, cfg)
+        assert b_part.conflict < b_cont.conflict
+        # Same data touched (up to line-alignment noise from layout offsets).
+        assert abs(b_part.cold - b_cont.cold) <= 0.01 * b_cont.cold
+
+    def test_str(self):
+        assert "conflict" in str(MissBreakdown(10, 1, 2, 3))
+
+
+class TestTLB:
+    def test_reach(self):
+        cfg = TLBConfig(entries=64, page_bytes=4096)
+        assert cfg.reach_bytes == 256 * 1024
+
+    def test_full_assoc_geometry(self):
+        cache = TLBConfig(entries=8, page_bytes=4096).as_cache()
+        assert cache.num_sets == 1
+        assert cache.associativity == 8
+
+    def test_sequential_pages(self):
+        cfg = TLBConfig(entries=4, page_bytes=4096)
+        addrs = np.arange(0, 8 * 4096, 8, dtype=np.int64)
+        stats = simulate_tlb(addrs, cfg)
+        assert stats.misses == 8  # one per page
+
+    def test_thrash_beyond_entries(self):
+        cfg = TLBConfig(entries=2, page_bytes=4096)
+        addrs = np.array([0, 4096, 8192] * 4, dtype=np.int64)
+        assert simulate_tlb(addrs, cfg).misses == 12
+
+    def test_set_associative_variant(self):
+        cfg = TLBConfig(entries=8, page_bytes=4096, associativity=2)
+        assert cfg.as_cache().num_sets == 4
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=0)
+        with pytest.raises(ValueError):
+            TLBConfig(entries=8, associativity=3)
+
+    def test_gaps_cost_no_tlb_entries(self):
+        """Partitioning gaps are never touched: TLB misses depend only on
+        pages actually referenced, which padding *does* inflate."""
+        from repro.experiments.common import setup_kernel
+        from repro.machine import convex_spp1000, unfused_proc_trace
+
+        tlb = TLBConfig(entries=16, page_bytes=4096)
+        part = setup_kernel(
+            "ll18", convex_spp1000(), 4, layout_kind="partitioned",
+            params={"n": 63},
+        )
+        cont = setup_kernel(
+            "ll18", convex_spp1000(), 4, layout_kind="contiguous",
+            params={"n": 63},
+        )
+        t_part = unfused_proc_trace(part.seq, part.params, part.layout)
+        t_cont = unfused_proc_trace(cont.seq, cont.params, cont.layout)
+        m_part = simulate_tlb(t_part, tlb).misses
+        m_cont = simulate_tlb(t_cont, tlb).misses
+        assert m_part <= m_cont * 1.3  # gaps add at most page-rounding noise
+
+
+def _nest(write, rhs_builder, depth2=False, parallel=True):
+    loops = (Loop.make("i", 2, n - 1, parallel=parallel),)
+    if depth2:
+        loops = (Loop.make("j", 2, n - 1), Loop.make("i", 2, n - 1))
+        return LoopNest(loops, (assign(write, (Affine.var("j"), i), rhs_builder(i)),))
+    return LoopNest(loops, (assign(write, i, rhs_builder(i)),))
+
+
+class TestGrouping:
+    def test_single_group_when_all_fusable(self, fig9_sequence):
+        result = group_fusable(fig9_sequence, ("n",))
+        assert result.num_groups == 1
+        assert result.groups[0].plan is not None
+        assert result.groups[0].plan.max_shift == 2
+
+    def test_breaks_on_nonuniform(self):
+        l1 = _nest("a", lambda v: load("b", v))
+        l2 = LoopNest(
+            (Loop.make("i", 2, n - 1),), (assign("c", i * 2, load("a", i * 3)),)
+        )
+        l3 = _nest("d", lambda v: load("c", v))
+        result = group_fusable(LoopSequence((l1, l2, l3)), ("n",))
+        assert result.num_groups >= 2
+        assert "non-uniform" in result.break_reasons[0]
+
+    def test_breaks_on_sequential_loop(self):
+        l1 = _nest("a", lambda v: load("b", v))
+        l2 = _nest("c", lambda v: load("a", v), parallel=False)
+        result = group_fusable(LoopSequence((l1, l2)), ("n",))
+        assert result.num_groups == 2
+        assert "sequential" in result.break_reasons[0]
+
+    def test_barriers_accounting(self, fig9_sequence):
+        result = group_fusable(fig9_sequence, ("n",))
+        # One fused group: fused barrier + peel barrier.
+        assert result.barriers_after() == 2
+
+    def test_groups_wider_than_naive(self):
+        """Shift-and-peel grouping keeps nests the naive partitioner splits
+        (backward/forward uniform deps are fine here, fatal there)."""
+        from repro.baselines import naive_fusion_partition
+
+        from repro.kernels import get_kernel
+
+        seq = get_kernel("filter").program().sequences[0]
+        ours = group_fusable(seq, ("m", "n"))
+        naive = naive_fusion_partition(seq, ("m", "n"))
+        assert ours.num_groups < naive.num_fused_loops
+        assert ours.num_groups == 1
+
+    def test_describe(self, fig9_sequence):
+        text = group_fusable(fig9_sequence, ("n",)).describe()
+        assert "group 1 (fused): L1, L2, L3" in text

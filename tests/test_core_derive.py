@@ -1,0 +1,114 @@
+"""Traversal algorithm (Fig. 8) and shift/peel derivation (Sec. 3.3)."""
+
+import pytest
+
+from repro.core import derive_shift_peel, fuse_sequence, traverse_for_peels, traverse_for_shifts
+from repro.dependence.multigraph import ChainGraph, Edge
+
+
+def graph(num, edges):
+    return ChainGraph(num, tuple(Edge(s, d, w) for s, d, w in edges))
+
+
+class TestTraversal:
+    def test_fig9_shifts(self):
+        g = graph(3, [(0, 1, -1), (1, 2, -1)])
+        assert traverse_for_shifts(g) == (0, 1, 2)
+
+    def test_fig10_peels(self):
+        g = graph(3, [(0, 1, 1), (1, 2, 1)])
+        assert traverse_for_peels(g) == (0, 1, 2)
+
+    def test_positive_edges_propagate_shifts(self):
+        # Backward into v1, then a forward edge v1->v2 still propagates the
+        # accumulated shift (treated as weight 0).
+        g = graph(3, [(0, 1, -2), (1, 2, 5)])
+        assert traverse_for_shifts(g) == (0, 2, 2)
+
+    def test_negative_edges_propagate_peels(self):
+        g = graph(3, [(0, 1, 3), (1, 2, -4)])
+        assert traverse_for_peels(g) == (0, 3, 3)
+
+    def test_min_accumulation_across_paths(self):
+        # Two paths into v2: direct -1, via v1 accumulated -3.
+        g = graph(3, [(0, 1, -2), (1, 2, -1), (0, 2, -1)])
+        assert traverse_for_shifts(g) == (0, 2, 3)
+
+    def test_max_accumulation_across_paths(self):
+        g = graph(3, [(0, 1, 2), (1, 2, 1), (0, 2, 1)])
+        assert traverse_for_peels(g) == (0, 2, 3)
+
+    def test_empty_graph(self):
+        g = graph(2, [])
+        assert traverse_for_shifts(g) == (0, 0)
+        assert traverse_for_peels(g) == (0, 0)
+
+    def test_linear_complexity_smoke(self):
+        edges = [(k, k + 1, -1) for k in range(200)]
+        g = graph(201, edges)
+        assert traverse_for_shifts(g)[-1] == 200
+
+
+class TestDerivation:
+    def test_fig9(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        assert plan.dims[0].shifts == (0, 1, 2)
+        assert plan.dims[0].peels == (0, 1, 2)
+        assert plan.max_shift == 2 and plan.max_peel == 2
+
+    def test_fig13(self, fig13_sequence):
+        plan = derive_shift_peel(fig13_sequence, ("n",))
+        assert plan.dims[0].shifts == (0, 1)
+        assert plan.dims[0].peels == (0, 1)
+
+    def test_fig4_peel_only(self, fig4_sequence):
+        plan = derive_shift_peel(fig4_sequence, ("n",))
+        assert plan.dims[0].shifts == (0, 0)
+        assert plan.dims[0].peels == (0, 1)
+
+    def test_jacobi_both_dims(self, jacobi_sequence):
+        plan = derive_shift_peel(jacobi_sequence, ("n",))
+        assert plan.shift_vector(1) == (1, 1)
+        assert plan.peel_vector(1) == (1, 1)
+
+    def test_total_peel(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        assert plan.total_peel(2, 0) == 4  # shift 2 + peel 2
+
+    def test_threshold(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        assert plan.dims[0].iteration_count_threshold == 5
+
+    def test_plain_fusion_detected(self):
+        from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+
+        i = Affine.var("i")
+        n = Affine.var("n")
+        l1 = LoopNest((Loop.make("i", 2, n - 1),), (assign("a", i, load("b", i)),))
+        l2 = LoopNest((Loop.make("i", 2, n - 1),), (assign("c", i, load("a", i)),))
+        plan = derive_shift_peel(LoopSequence((l1, l2)), ("n",))
+        assert plan.is_plain_fusion()
+
+    def test_table_rows(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        rows = plan.table_rows()
+        assert rows[2] == (3, (2,), (2,))
+
+    def test_describe(self, fig9_sequence):
+        text = derive_shift_peel(fig9_sequence, ("n",)).describe()
+        assert "L3" in text
+
+
+class TestTable2:
+    @pytest.mark.parametrize("kernel", ["ll18", "calc", "filter", "jacobi", "tomcatv"])
+    def test_matches_paper(self, kernel):
+        from repro.kernels import get_kernel
+
+        info = get_kernel(kernel)
+        program = info.program()
+        result = fuse_sequence(program.sequences[0], program.params, info.fuse_depth)
+        seq = result.sequence
+        shifts = tuple(result.plan.shift(k, 0) for k in range(len(seq)))
+        peels = tuple(result.plan.peel(k, 0) for k in range(len(seq)))
+        assert shifts == info.paper_shifts
+        assert peels == info.paper_peels

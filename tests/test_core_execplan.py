@@ -1,0 +1,131 @@
+"""Execution planning: fused boxes, peeled rectangles, legality, coverage."""
+
+import pytest
+
+from repro.core import (
+    FusionLegalityError,
+    build_execution_plan,
+    check_legality,
+    derive_shift_peel,
+    iteration_count_thresholds,
+    max_processors,
+    verify_coverage,
+)
+
+
+class TestLegality:
+    def test_thresholds(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        assert iteration_count_thresholds(plan) == (5,)
+
+    def test_max_processors(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        # trip = 38 at n=41, Nt = 5 -> at most 7 processors
+        assert max_processors(plan, {"n": 41}) == (7,)
+
+    def test_check_passes(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        check = check_legality(plan, {"n": 41}, (7,))
+        assert check.ok
+        check.raise_if_bad()
+
+    def test_check_fails_beyond_threshold(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        check = check_legality(plan, {"n": 41}, (10,))
+        assert not check.ok
+        with pytest.raises(FusionLegalityError):
+            check.raise_if_bad()
+
+    def test_too_many_procs_for_iterations(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        assert not check_legality(plan, {"n": 10}, (50,)).ok
+
+    def test_grid_dim_mismatch(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        with pytest.raises(ValueError):
+            check_legality(plan, {"n": 41}, (2, 2))
+
+    def test_build_validates(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        with pytest.raises(FusionLegalityError):
+            build_execution_plan(plan, {"n": 41}, num_procs=10)
+        build_execution_plan(plan, {"n": 41}, num_procs=10, validate=False)
+
+
+class TestCoverage1D:
+    @pytest.mark.parametrize("procs", [1, 2, 3, 5, 7])
+    def test_fig9(self, fig9_sequence, procs):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 41}, num_procs=procs)
+        assert verify_coverage(ep)
+
+    @pytest.mark.parametrize("procs", [1, 2, 4])
+    def test_fig13(self, fig13_sequence, procs):
+        plan = derive_shift_peel(fig13_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 21}, num_procs=procs)
+        assert verify_coverage(ep)
+
+    def test_differing_bounds(self):
+        from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+
+        i = Affine.var("i")
+        n = Affine.var("n")
+        l1 = LoopNest((Loop.make("i", 1, n),), (assign("a", i, load("b", i)),))
+        l2 = LoopNest(
+            (Loop.make("i", 3, n - 2),),
+            (assign("c", i, load("a", i + 1) + load("a", i - 1)),),
+        )
+        plan = derive_shift_peel(LoopSequence((l1, l2)), ("n",))
+        for procs in (1, 2, 3):
+            ep = build_execution_plan(plan, {"n": 30}, num_procs=procs)
+            assert verify_coverage(ep)
+
+
+class TestCoverage2D:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 1), (1, 2), (2, 2), (3, 3)])
+    def test_jacobi(self, jacobi_sequence, grid):
+        plan = derive_shift_peel(jacobi_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 19}, grid_shape=grid)
+        assert verify_coverage(ep)
+
+    def test_counts(self, jacobi_sequence):
+        plan = derive_shift_peel(jacobi_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 19}, grid_shape=(3, 3))
+        total = sum(nest.iteration_count({"n": 19}) for nest in plan.seq)
+        assert ep.total_fused() + ep.total_peeled() == total
+        assert ep.total_peeled() > 0
+
+
+class TestProcessorPlans:
+    def test_first_block_has_no_head_peel(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 41}, num_procs=4)
+        first = ep.processors[0]
+        lo = plan.seq[0].loops[0].lower.eval({"n": 41})
+        for k in range(3):
+            assert first.fused[k][0][0] == lo
+
+    def test_last_block_runs_to_end(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 41}, num_procs=4)
+        last = ep.processors[-1]
+        hi = plan.seq[0].loops[0].upper.eval({"n": 41})
+        for k in range(3):
+            assert last.fused[k][0][1] == hi
+        assert last.peeled_count() == 0
+
+    def test_interior_peel_sizes(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 41}, num_procs=4)
+        interior = ep.processors[1]
+        # Each boundary peels shift+peel iterations of each shifted nest.
+        by_nest = {}
+        for rect in interior.peeled:
+            by_nest[rect.nest_idx] = by_nest.get(rect.nest_idx, 0) + rect.iteration_count()
+        assert by_nest == {1: 2, 2: 4}
+
+    def test_processor_lookup(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 41}, num_procs=3)
+        assert ep.processor((2,)) is ep.processors[1]
+        assert ep.num_procs == 3

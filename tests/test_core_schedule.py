@@ -1,0 +1,87 @@
+"""Block scheduling (Def. 5, balanced variant) and grid factorization."""
+
+import pytest
+
+from repro.core.schedule import BlockSchedule, GridSchedule, factor_grid
+
+
+class TestBlockSchedule:
+    def test_exact_division(self):
+        s = BlockSchedule(0, 15, 4)
+        assert list(s.blocks()) == [(0, 3), (4, 7), (8, 11), (12, 15)]
+        assert s.block_size == 4
+
+    def test_remainder_balanced(self):
+        s = BlockSchedule(1, 10, 3)  # 10 iterations, blocks 4,3,3
+        sizes = [hi - lo + 1 for lo, hi in s.blocks()]
+        assert sizes == [4, 3, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_exact_cover(self):
+        s = BlockSchedule(5, 47, 7)
+        covered = []
+        for lo, hi in s.blocks():
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(5, 48))
+
+    def test_owner(self):
+        s = BlockSchedule(0, 9, 3)
+        for p in range(1, 4):
+            lo, hi = s.block(p)
+            for it in range(lo, hi + 1):
+                assert s.owner(it) == p
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ValueError):
+            BlockSchedule(0, 9, 2).owner(10)
+
+    def test_single_block(self):
+        s = BlockSchedule(2, 8, 1)
+        assert s.block(1) == (2, 8)
+
+    def test_more_blocks_than_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSchedule(0, 2, 4)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            BlockSchedule(5, 4, 1)
+
+    def test_bad_block_index(self):
+        with pytest.raises(ValueError):
+            BlockSchedule(0, 9, 2).block(3)
+
+
+class TestGridSchedule:
+    def test_two_dim(self):
+        g = GridSchedule((BlockSchedule(0, 9, 2), BlockSchedule(0, 9, 5)))
+        assert g.num_procs == 10
+        assert g.grid_shape == (2, 5)
+        coords = list(g.coords())
+        assert len(coords) == 10
+        assert coords[0] == (1, 1)
+        assert g.flat_index((1, 1)) == 0
+        assert g.flat_index((2, 5)) == 9
+
+    def test_block_lookup(self):
+        g = GridSchedule((BlockSchedule(0, 9, 2), BlockSchedule(0, 3, 2)))
+        assert g.block((2, 1)) == ((5, 9), (0, 1))
+
+
+class TestFactorGrid:
+    @pytest.mark.parametrize("procs", [1, 2, 4, 6, 9, 12, 16, 56])
+    def test_product_preserved(self, procs):
+        for ndims in (1, 2, 3):
+            shape = factor_grid(procs, ndims)
+            assert len(shape) == ndims
+            total = 1
+            for extent in shape:
+                total *= extent
+            assert total == procs
+
+    def test_near_square(self):
+        assert sorted(factor_grid(16, 2)) == [4, 4]
+        assert sorted(factor_grid(12, 2)) in ([3, 4], [2, 6])
+
+    def test_1d(self):
+        assert factor_grid(7, 1) == (7,)

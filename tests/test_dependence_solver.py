@@ -1,0 +1,122 @@
+"""Exact distance solver, GCD and Banerjee tests."""
+
+import pytest
+
+from repro.dependence.solver import (
+    banerjee_test,
+    gcd_test,
+    solve_uniform_distance,
+)
+from repro.ir import Affine, ArrayRef
+
+i = Affine.var("i")
+j = Affine.var("j")
+k = Affine.var("k")
+
+
+def ref(*subs):
+    return ArrayRef.make("a", *subs)
+
+
+class TestUniformDistances:
+    def test_simple_forward(self):
+        # src writes a[i], dst reads a[i-1]: element i touched at dst iter i+1
+        sol = solve_uniform_distance(ref(i), ref(i - 1), ("i",))
+        assert sol.status == "uniform"
+        assert sol.distance == (1,)
+
+    def test_simple_backward(self):
+        sol = solve_uniform_distance(ref(i), ref(i + 1), ("i",))
+        assert sol.distance == (-1,)
+
+    def test_zero(self):
+        sol = solve_uniform_distance(ref(i), ref(i), ("i",))
+        assert sol.distance == (0,)
+
+    def test_2d(self):
+        sol = solve_uniform_distance(
+            ref(i, j), ref(i - 2, j + 1), ("i", "j")
+        )
+        assert sol.distance == (2, -1)
+
+    def test_inner_vars_existential(self):
+        # Fused dim i; inner dim k appears in a separate subscript: any k
+        # pairs match, distance in i still determined.
+        sol = solve_uniform_distance(ref(i, k), ref(i - 1, k + 3), ("i",), ("k",))
+        assert sol.status == "uniform"
+        assert sol.distance == (1,)
+
+    def test_coefficient_mismatch_is_nonuniform(self):
+        sol = solve_uniform_distance(ref(i * 2), ref(i), ("i",))
+        assert sol.status == "nonuniform"
+
+    def test_scaled_but_matching_coefficients(self):
+        # a[2i] vs a[2i-4]: uniform distance 2.
+        sol = solve_uniform_distance(ref(i * 2), ref(i * 2 - 4), ("i",))
+        assert sol.status == "uniform"
+        assert sol.distance == (2,)
+
+    def test_gcd_independence(self):
+        # a[2i] vs a[2i+1]: parity differs -> no dependence.
+        sol = solve_uniform_distance(ref(i * 2), ref(i * 2 + 1), ("i",))
+        assert sol.status == "independent"
+
+    def test_missing_fused_var_unconstrained(self):
+        # a[k] vs a[k]: i unconstrained -> nonuniform in i.
+        sol = solve_uniform_distance(ref(k), ref(k), ("i",), ("k",))
+        assert sol.status == "nonuniform"
+        assert sol.free_dims == (0,)
+
+    def test_dimension_mismatch_independent(self):
+        sol = solve_uniform_distance(ref(i), ref(i, j), ("i",))
+        assert sol.status == "independent"
+
+    def test_parameter_mismatch_independent(self):
+        nvar = Affine.var("n")
+        sol = solve_uniform_distance(ref(i + nvar), ref(i), ("i",))
+        assert sol.status == "independent"
+
+    def test_parameter_match_uniform(self):
+        nvar = Affine.var("n")
+        sol = solve_uniform_distance(ref(i + nvar), ref(i + nvar - 1), ("i",))
+        assert sol.distance == (1,)
+
+    def test_different_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            solve_uniform_distance(
+                ArrayRef.make("a", i), ArrayRef.make("b", i), ("i",)
+            )
+
+    def test_multidim_partial(self):
+        sol = solve_uniform_distance(
+            ref(i, j), ref(i - 1, j), ("i", "j")
+        )
+        assert sol.distance == (1, 0)
+
+    def test_coupled_subscripts(self):
+        # a[i+j] in both: distance underdetermined (di + dj = 0): nonuniform.
+        sol = solve_uniform_distance(ref(i + j), ref(i + j), ("i", "j"))
+        assert sol.status == "nonuniform"
+
+
+class TestClassicFilters:
+    def test_gcd_possible(self):
+        assert gcd_test([2, 4], 6)
+        assert gcd_test([3], 9)
+
+    def test_gcd_proves_independence(self):
+        assert not gcd_test([2, 4], 3)
+
+    def test_gcd_empty(self):
+        assert gcd_test([], 0)
+        assert not gcd_test([0, 0], 5)
+
+    def test_banerjee_within_bounds(self):
+        assert banerjee_test([1, -1], 3, [(0, 10), (0, 10)])
+
+    def test_banerjee_proves_independence(self):
+        assert not banerjee_test([1], 100, [(0, 10)])
+
+    def test_banerjee_negative_coeffs(self):
+        assert banerjee_test([-2], -6, [(0, 10)])
+        assert not banerjee_test([-2], 6, [(0, 10)])

@@ -1,0 +1,115 @@
+"""Emission edge cases and multi-sequence program printing."""
+
+import pytest
+
+from repro.core import derive_shift_peel, fuse_sequence
+from repro.ir import (
+    Affine,
+    ArrayDecl,
+    Loop,
+    LoopNest,
+    LoopSequence,
+    Program,
+    assign,
+    format_program,
+    load,
+)
+from repro.lang.emit import emit_direct, emit_spmd, emit_stripmined
+
+i = Affine.var("i")
+j = Affine.var("j")
+n = Affine.var("n")
+
+
+def plain_pair():
+    l1 = LoopNest((Loop.make("i", 2, n - 1),), (assign("a", i, load("b", i)),))
+    l2 = LoopNest((Loop.make("i", 2, n - 1),), (assign("c", i, load("a", i)),))
+    return LoopSequence((l1, l2))
+
+
+class TestEmitStripmined:
+    def test_plain_fusion_has_no_barrier(self):
+        plan = derive_shift_peel(plain_pair(), ("n",))
+        text = emit_stripmined(plan)
+        assert "<BARRIER>" not in text
+        assert "max(" not in text  # no shifting -> unclamped lower bounds
+
+    def test_custom_symbols(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        text = emit_stripmined(plan, strip=16, istart="LB", iend="UB")
+        assert "do ii = LB, UB, 16" in text
+        assert "LB+1" in text and "UB-1" in text
+
+    def test_inner_loops_preserved(self):
+        from repro.kernels import ll18
+
+        prog = ll18.program()
+        plan = derive_shift_peel(prog.sequences[0], prog.params, 1)
+        text = emit_stripmined(plan)
+        assert "do k = 2, n-1" in text  # the non-fused inner level
+
+
+class TestEmitDirect:
+    def test_plain_fusion_unguarded(self):
+        plan = derive_shift_peel(plain_pair(), ("n",))
+        text = emit_direct(plan)
+        assert "if (" not in text
+        assert "! iterations moved" not in text
+
+    def test_epilogue_order_matches_nests(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        text = emit_direct(plan)
+        c_pos = text.index("c[i] = ")
+        d_pos = text.index("d[i] = ")
+        assert c_pos < d_pos
+
+
+class TestEmitSpmd:
+    def test_depth1_spmd(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        text = emit_spmd(plan)
+        assert "iblksz" in text
+        assert text.count("<BARRIER>") == 1
+
+    def test_peeled_rect_count_2d(self, jacobi_sequence):
+        plan = derive_shift_peel(jacobi_sequence, ("n",))
+        text = emit_spmd(plan)
+        # One shifted nest, two pivot dimensions -> two post-barrier loops.
+        post = text.split("<BARRIER>")[1]
+        assert post.count("a[i,j] = b[i,j]") == 2
+
+
+class TestProgramPrinting:
+    def test_multi_sequence_program(self):
+        seq1 = plain_pair()
+        seq2 = LoopSequence(
+            (LoopNest((Loop.make("i", 2, n - 1),), (assign("b", i, load("c", i)),)),),
+            name="second",
+        )
+        prog = Program(
+            arrays=(
+                ArrayDecl.make("a", n + 1),
+                ArrayDecl.make("b", n + 1),
+                ArrayDecl.make("c", n + 1),
+            ),
+            sequences=(seq1, seq2),
+            params=("n",),
+            name="multi",
+        )
+        text = format_program(prog)
+        assert text.count("! sequence") == 2
+        assert "param n" in text
+
+    def test_fuse_program_handles_all_sequences(self):
+        from repro.core import fuse_program
+        from repro.kernels import hydro2d
+
+        results = fuse_program(hydro2d.program())
+        assert len(results) == 3
+        assert results[0].plan.max_shift == 5
+        assert results[2].plan.is_plain_fusion()
+
+    def test_summary_line(self, fig9_sequence):
+        result = fuse_sequence(fig9_sequence, ("n",))
+        line = result.summary_line()
+        assert "3 nests" in line and "2/2" in line

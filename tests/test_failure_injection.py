@@ -1,0 +1,176 @@
+"""Failure injection: the verification harness must *catch* miscompiles.
+
+A correctness harness is only trustworthy if it fails when the
+transformation is wrong.  These tests build deliberately broken
+shift-and-peel plans — shift too small, peeling skipped, nest order
+swapped — and assert that the adversarial executor detects the divergence
+from the serial oracle, and that the structural validators reject what
+they can reject statically.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import alloc_1d, arrays_equal, copy_arrays
+
+from repro.core import build_execution_plan, derive_shift_peel, verify_coverage
+from repro.core.derive import DimensionPlan, ShiftPeelPlan
+from repro.ir import LoopSequence
+from repro.runtime import run_parallel, run_sequence_serial
+
+PARAMS = {"n": 41}
+SIZE = 42
+
+
+def _tampered(plan: ShiftPeelPlan, shifts=None, peels=None) -> ShiftPeelPlan:
+    dim = plan.dims[0]
+    new_dim = DimensionPlan(
+        var=dim.var,
+        shifts=tuple(shifts) if shifts is not None else dim.shifts,
+        peels=tuple(peels) if peels is not None else dim.peels,
+    )
+    return dataclasses.replace(plan, dims=(new_dim,))
+
+
+def _diverges(seq, plan, procs, interleaves=("sequential", "random")) -> bool:
+    """True when some interleave of the (possibly broken) plan differs from
+    the serial oracle."""
+    base = alloc_1d(sorted(seq.arrays()), SIZE, seed=13)
+    oracle = copy_arrays(base)
+    run_sequence_serial(seq, PARAMS, oracle)
+    ep = build_execution_plan(plan, PARAMS, num_procs=procs, validate=False)
+    for mode in interleaves:
+        got = copy_arrays(base)
+        run_parallel(
+            ep, got, interleave=mode, strip=4, rng=np.random.default_rng(0)
+        )
+        if not arrays_equal(oracle, got):
+            return True
+    return False
+
+
+class TestInjectedShiftErrors:
+    def test_missing_shift_detected(self, fig9_sequence):
+        """Without shifting, the backward dependence reads not-yet-written
+        values even serially: the harness must flag it."""
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        broken = _tampered(plan, shifts=(0, 0, 0))
+        assert _diverges(fig9_sequence, broken, procs=1)
+
+    def test_undersized_shift_detected(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        broken = _tampered(plan, shifts=(0, 1, 1))  # L3 needs 2
+        assert _diverges(fig9_sequence, broken, procs=1)
+
+    def test_oversized_shift_is_still_correct(self, fig9_sequence):
+        """Extra shifting wastes locality but never breaks correctness."""
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        over = _tampered(plan, shifts=(0, 2, 4), peels=(0, 1, 2))
+        assert not _diverges(fig9_sequence, over, procs=3)
+
+
+class TestInjectedPeelErrors:
+    def test_missing_peel_detected_in_parallel(self, fig4_sequence):
+        """Fig. 4's serializing dependence: without peeling, adversarial
+        interleaving of blocks produces wrong results — while the
+        sequential block order happens to mask it (which is exactly why
+        the harness uses adversarial orders)."""
+        plan = derive_shift_peel(fig4_sequence, ("n",))
+        broken = _tampered(plan, peels=(0, 0))
+        assert not _diverges(fig4_sequence, broken, procs=1)
+        assert not _diverges(
+            fig4_sequence, broken, procs=4, interleaves=("sequential",)
+        )
+        assert _diverges(
+            fig4_sequence, broken, procs=4, interleaves=("reversed",)
+        )
+
+    def test_missing_peel_serial_is_fine(self, fig4_sequence):
+        plan = derive_shift_peel(fig4_sequence, ("n",))
+        broken = _tampered(plan, peels=(0, 0))
+        assert not _diverges(fig4_sequence, broken, procs=1)
+
+
+class TestInjectedStructureErrors:
+    def test_swapped_nest_order_detected(self, fig9_sequence):
+        swapped = LoopSequence(
+            (fig9_sequence[1], fig9_sequence[0], fig9_sequence[2]),
+            name="swapped",
+        )
+        plan_good = derive_shift_peel(fig9_sequence, ("n",))
+        plan_swapped = dataclasses.replace(plan_good, seq=swapped)
+        base = alloc_1d("abcd", SIZE, seed=3)
+        oracle = copy_arrays(base)
+        run_sequence_serial(fig9_sequence, PARAMS, oracle)
+        ep = build_execution_plan(plan_swapped, PARAMS, num_procs=1, validate=False)
+        got = copy_arrays(base)
+        run_parallel(ep, got)
+        assert not arrays_equal(oracle, got)
+
+    def test_tampered_amounts_keep_coverage_but_break_order(self, fig9_sequence):
+        """Shift/peel tampering never breaks *coverage* — the FUSED/PEELED
+        formulas partition the space for any non-negative amounts — it
+        breaks *ordering*.  Both facts are asserted."""
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        broken = _tampered(plan, peels=(0, 0, 0))
+        ep = build_execution_plan(broken, PARAMS, num_procs=4, validate=False)
+        assert verify_coverage(ep)  # still a partition...
+        assert _diverges(
+            fig9_sequence, broken, procs=4, interleaves=("reversed",)
+        )  # ...but dependences cross the barrier the wrong way
+
+    def test_coverage_check_catches_dropped_iterations(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, PARAMS, num_procs=4)
+        proc0 = ep.processors[0]
+        lo, hi = proc0.fused[0][0]
+        shrunk = dataclasses.replace(
+            proc0, fused=(((lo, hi - 1),),) + proc0.fused[1:]
+        )
+        broken = dataclasses.replace(
+            ep, processors=(shrunk,) + ep.processors[1:]
+        )
+        assert not verify_coverage(broken)
+
+    def test_coverage_check_catches_double_execution(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, PARAMS, num_procs=4)
+        proc0 = ep.processors[0]
+        lo, hi = proc0.fused[0][0]
+        grown = dataclasses.replace(
+            proc0, fused=(((lo, hi + 1),),) + proc0.fused[1:]
+        )
+        broken = dataclasses.replace(
+            ep, processors=(grown,) + ep.processors[1:]
+        )
+        assert not verify_coverage(broken)
+
+
+class TestHarnessEdgeCases:
+    def test_block_size_exactly_nt(self, fig9_sequence):
+        """Theorem 1's boundary: block == Nt must still be correct."""
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        nt = plan.dims[0].iteration_count_threshold
+        trip = 39  # n=41: bounds 2..40
+        procs = trip // nt
+        base = alloc_1d("abcd", SIZE, seed=5)
+        oracle = copy_arrays(base)
+        run_sequence_serial(fig9_sequence, PARAMS, oracle)
+        ep = build_execution_plan(plan, PARAMS, num_procs=procs)
+        got = copy_arrays(base)
+        run_parallel(ep, got, interleave="reversed")
+        assert arrays_equal(oracle, got)
+
+    def test_single_iteration_inner_ranges(self):
+        from repro.ir import Affine, Loop, LoopNest, assign, load
+
+        i = Affine.var("i")
+        n = Affine.var("n")
+        l1 = LoopNest((Loop.make("i", 5, 5),), (assign("a", i, load("b", i)),))
+        l2 = LoopNest((Loop.make("i", 5, 5),), (assign("c", i, load("a", i)),))
+        seq = LoopSequence((l1, l2))
+        plan = derive_shift_peel(seq, ("n",))
+        ep = build_execution_plan(plan, {"n": 10}, num_procs=1)
+        assert verify_coverage(ep)

@@ -1,0 +1,197 @@
+"""ArrayRef, statements, loops, sequences, programs, printer."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Loop,
+    LoopNest,
+    LoopSequence,
+    Program,
+    assign,
+    compatible,
+    format_nest,
+    format_program,
+    load,
+    side_by_side,
+    single_sequence_program,
+)
+from repro.ir.stmt import BinOp, Const, UnaryOp
+
+
+i = Affine.var("i")
+j = Affine.var("j")
+n = Affine.var("n")
+
+
+class TestArrayRef:
+    def test_make_and_str(self):
+        ref = ArrayRef.make("a", i + 1, j)
+        assert str(ref) == "a[i+1,j]"
+        assert ref.ndim == 2
+
+    def test_access_matrix(self):
+        ref = ArrayRef.make("a", i + 1, j - i)
+        assert ref.access_matrix(("i", "j")) == ((1, 0), (-1, 1))
+
+    def test_offset_vector(self):
+        ref = ArrayRef.make("a", i + 1, j - 2)
+        assert ref.offset_vector() == (1, -2)
+
+    def test_index_tuple(self):
+        ref = ArrayRef.make("a", i + 1, j)
+        assert ref.index_tuple({"i": 2, "j": 5}) == (3, 5)
+
+    def test_shift_var(self):
+        ref = ArrayRef.make("a", i).shift_var("i", -2)
+        assert ref.subscripts[0].const == -2
+
+    def test_compatible(self):
+        a = ArrayRef.make("a", i, j)
+        b = ArrayRef.make("b", i + 3, j - 1)
+        c = ArrayRef.make("c", j, i)
+        assert compatible(a, b, ("i", "j"))
+        assert not compatible(a, c, ("i", "j"))
+
+
+class TestExpressions:
+    def test_operator_sugar(self):
+        e = load("a", i) + load("b", i) * 2 - 1
+        arrays = {"a": np.array([1.0, 2.0]), "b": np.array([10.0, 20.0])}
+        assert e.eval({"i": 1}, arrays) == 2.0 + 20.0 * 2 - 1
+
+    def test_division(self):
+        e = load("a", i) / 4
+        assert e.eval({"i": 0}, {"a": np.array([8.0])}) == 2.0
+
+    def test_negation(self):
+        e = -load("a", i)
+        assert e.eval({"i": 0}, {"a": np.array([3.0])}) == -3.0
+
+    def test_loads_enumeration(self):
+        e = load("a", i) + load("b", i + 1)
+        assert [r.array for r in e.loads()] == ["a", "b"]
+
+    def test_bad_binop(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Const(1.0), Const(2.0))
+
+    def test_bad_unary(self):
+        with pytest.raises(ValueError):
+            UnaryOp("+", Const(1.0))
+
+    def test_shift_var_through_tree(self):
+        e = (load("a", i) + load("b", i + 1)).shift_var("i", -1)
+        refs = [str(r) for r in e.loads()]
+        assert refs == ["a[i-1]", "b[i]"]
+
+
+class TestAssign:
+    def test_reads_writes(self):
+        st = assign("c", i, load("a", i + 1) + load("b", i))
+        assert [r.array for r in st.reads()] == ["a", "b"]
+        assert st.writes()[0].array == "c"
+        assert st.arrays() == {"a", "b", "c"}
+
+    def test_execute(self):
+        st = assign("c", i, load("a", i) * 2)
+        arrays = {"a": np.array([1.0, 5.0]), "c": np.zeros(2)}
+        st.execute({"i": 1}, arrays)
+        assert arrays["c"][1] == 10.0
+
+    def test_str(self):
+        st = assign("c", i, load("a", i))
+        assert str(st) == "c[i] = a[i]"
+
+
+class TestLoopNest:
+    def _nest(self):
+        return LoopNest(
+            (Loop.make("j", 2, n - 1), Loop.make("i", 2, n - 1, parallel=False)),
+            (assign("b", (j, i), load("a", j, i)),),
+            name="L1",
+        )
+
+    def test_properties(self):
+        nest = self._nest()
+        assert nest.depth == 2
+        assert nest.loop_vars == ("j", "i")
+        assert nest.parallel_depth() == 1
+        assert nest.arrays_read() == {"a"}
+        assert nest.arrays_written() == {"b"}
+
+    def test_iteration_space_order(self):
+        nest = self._nest()
+        space = list(nest.iteration_space({"n": 4}))
+        assert space == [(2, 2), (2, 3), (3, 2), (3, 3)]
+        assert nest.iteration_count({"n": 4}) == 4
+
+    def test_duplicate_loop_var_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest(
+                (Loop.make("i", 0, 1), Loop.make("i", 0, 1)),
+                (assign("a", i, 1),),
+            )
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest((Loop.make("i", 0, 1),), ())
+
+    def test_rename_loop_vars(self):
+        nest = self._nest().rename_loop_vars({"j": "k"})
+        assert nest.loop_vars == ("k", "i")
+        assert "k" in str(nest.body[0])
+
+    def test_trip_count(self):
+        assert Loop.make("i", 2, n - 1).trip_count({"n": 10}) == 8
+        assert Loop.make("i", 5, n).trip_count({"n": 3}) == 0
+
+
+class TestSequenceAndProgram:
+    def test_auto_naming(self, fig9_sequence):
+        assert [nest.name for nest in fig9_sequence] == ["L1", "L2", "L3"]
+
+    def test_arrays(self, fig9_sequence):
+        assert fig9_sequence.arrays() == {"a", "b", "c", "d"}
+
+    def test_program_accessors(self):
+        decls = (ArrayDecl.make("a", n + 1),)
+        nest = LoopNest((Loop.make("i", 2, n - 1),), (assign("a", i, 1),))
+        prog = single_sequence_program([nest], decls, ("n",), "p")
+        assert prog.array("a").ndim == 1
+        with pytest.raises(KeyError):
+            prog.array("zz")
+        assert prog.total_data_bytes({"n": 9}) == 10 * 8
+
+    def test_allocate_arrays(self):
+        decls = (ArrayDecl.make("a", n + 1, n + 1),)
+        nest = LoopNest((Loop.make("i", 2, n - 1),), (assign("a", (i, i), 1.0),))
+        prog = single_sequence_program([nest], decls)
+        arrays = prog.allocate_arrays({"n": 4}, rng=np.random.default_rng(0))
+        assert arrays["a"].shape == (5, 5)
+        assert arrays["a"].any()
+
+
+class TestPrinter:
+    def test_format_nest(self, fig9_sequence):
+        text = format_nest(fig9_sequence[0])
+        assert "doall i = 2, n-1" in text
+        assert "a[i] = b[i]" in text
+        assert text.count("end do") == 1
+
+    def test_format_program(self):
+        from repro.kernels import jacobi
+
+        text = format_program(jacobi.program())
+        assert "real a(n+1,n+1)" in text
+        assert "doall" in text
+
+    def test_side_by_side(self):
+        out = side_by_side("a\nbb", "c")
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert "a" in lines[0] and "c" in lines[0]

@@ -1,0 +1,176 @@
+"""Affine expressions and bound expressions."""
+
+import pytest
+
+from repro.ir.expr import Affine, BoundExpr, as_affine
+
+
+class TestAffineConstruction:
+    def test_constant(self):
+        e = Affine.constant(5)
+        assert e.is_constant()
+        assert e.const == 5
+        assert e.coeffs == ()
+
+    def test_var(self):
+        e = Affine.var("i")
+        assert e.coeff("i") == 1
+        assert e.coeff("j") == 0
+        assert not e.is_constant()
+
+    def test_var_with_coeff_and_const(self):
+        e = Affine.var("i", 3, 7)
+        assert e.coeff("i") == 3
+        assert e.const == 7
+
+    def test_zero_coefficients_dropped(self):
+        e = Affine.from_dict({"i": 0, "j": 2})
+        assert e.names == ("j",)
+
+    def test_canonical_ordering(self):
+        a = Affine.from_dict({"b": 1, "a": 2})
+        b = Affine.from_dict({"a": 2, "b": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_var_zero_coeff_is_constant(self):
+        assert Affine.var("i", 0, 4) == Affine.constant(4)
+
+
+class TestAffineArithmetic:
+    def test_add_vars(self):
+        e = Affine.var("i") + Affine.var("j")
+        assert e.coeff("i") == 1 and e.coeff("j") == 1
+
+    def test_add_int(self):
+        e = Affine.var("i") + 3
+        assert e.const == 3
+
+    def test_radd(self):
+        e = 3 + Affine.var("i")
+        assert e.const == 3
+
+    def test_sub_cancels(self):
+        i = Affine.var("i")
+        assert (i - i).is_constant()
+        assert (i - i).const == 0
+
+    def test_rsub(self):
+        e = 10 - Affine.var("i")
+        assert e.coeff("i") == -1
+        assert e.const == 10
+
+    def test_neg(self):
+        e = -(Affine.var("i") + 2)
+        assert e.coeff("i") == -1 and e.const == -2
+
+    def test_scale(self):
+        e = (Affine.var("i") + 1) * 3
+        assert e.coeff("i") == 3 and e.const == 3
+
+    def test_scale_by_zero(self):
+        assert (Affine.var("i") * 0).is_constant()
+
+    def test_mul_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            Affine.var("i") * 1.5
+
+
+class TestAffineSubstitution:
+    def test_shift_var(self):
+        e = Affine.var("i", 2, 1).shift_var("i", 3)
+        assert e.const == 1 + 2 * 3
+
+    def test_shift_absent_var_is_noop(self):
+        e = Affine.var("i")
+        assert e.shift_var("j", 5) is e
+
+    def test_substitute(self):
+        e = Affine.var("i", 2) + Affine.var("j")
+        out = e.substitute("i", Affine.var("k") + 1)
+        assert out.coeff("k") == 2 and out.coeff("j") == 1 and out.const == 2
+
+    def test_rename(self):
+        e = Affine.var("i") + Affine.var("j")
+        out = e.rename({"i": "x"})
+        assert set(out.names) == {"x", "j"}
+
+
+class TestAffineEval:
+    def test_eval(self):
+        e = Affine.var("i", 2) - Affine.var("j") + 5
+        assert e.eval({"i": 3, "j": 4}) == 2 * 3 - 4 + 5
+
+    def test_eval_missing_raises(self):
+        with pytest.raises(KeyError):
+            Affine.var("i").eval({})
+
+    def test_uses_only(self):
+        e = Affine.var("i") + Affine.var("n")
+        assert e.uses_only({"i", "n"})
+        assert not e.uses_only({"i"})
+
+
+class TestAffineStr:
+    @pytest.mark.parametrize(
+        "expr,text",
+        [
+            (Affine.var("i"), "i"),
+            (Affine.var("i") + 1, "i+1"),
+            (Affine.var("i") - 1, "i-1"),
+            (Affine.var("i", -1), "-i"),
+            (Affine.constant(0), "0"),
+            (Affine.var("i", 2) + 3, "2*i+3"),
+        ],
+    )
+    def test_str(self, expr, text):
+        assert str(expr) == text
+
+
+class TestAsAffine:
+    def test_int(self):
+        assert as_affine(4) == Affine.constant(4)
+
+    def test_str(self):
+        assert as_affine("k") == Affine.var("k")
+
+    def test_passthrough(self):
+        e = Affine.var("i")
+        assert as_affine(e) is e
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            as_affine(1.5)
+
+
+class TestBoundExpr:
+    def test_affine_bound(self):
+        b = BoundExpr.affine(Affine.var("i") + 1)
+        assert b.eval({"i": 4}) == 5
+
+    def test_min(self):
+        b = BoundExpr.minimum(Affine.var("i"), Affine.constant(3))
+        assert b.eval({"i": 10}) == 3
+        assert b.eval({"i": 1}) == 1
+
+    def test_max(self):
+        b = BoundExpr.maximum(Affine.var("i"), 3)
+        assert b.eval({"i": 10}) == 10
+
+    def test_single_term_collapses_to_affine(self):
+        assert BoundExpr.minimum(Affine.var("i")).kind == "affine"
+
+    def test_shift(self):
+        b = BoundExpr.minimum("i", 3).shift(2)
+        assert b.eval({"i": 0}) == 2
+
+    def test_str(self):
+        assert str(BoundExpr.minimum("i", 3)) == "min(i,3)"
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            BoundExpr("median", (Affine.var("i"),))
+
+    def test_empty_terms(self):
+        with pytest.raises(ValueError):
+            BoundExpr("min", ())

@@ -1,0 +1,109 @@
+"""Admissibility validation (Appendix Def. 1)."""
+
+import pytest
+
+from repro.ir import (
+    Affine,
+    AdmissibilityError,
+    Loop,
+    LoopNest,
+    LoopSequence,
+    assign,
+    canonical_fused_vars,
+    load,
+    validate_program,
+    validate_sequence,
+)
+
+i = Affine.var("i")
+k = Affine.var("k")
+n = Affine.var("n")
+
+
+def nest_1d(var="i", parallel=True, name=""):
+    v = Affine.var(var)
+    return LoopNest(
+        (Loop.make(var, 2, n - 1, parallel=parallel),),
+        (assign("a", v, load("b", v)),),
+        name=name,
+    )
+
+
+class TestValidateSequence:
+    def test_valid(self, fig9_sequence):
+        assert validate_sequence(fig9_sequence, ("n",)).ok
+
+    def test_sequential_fused_loop_rejected(self):
+        seq = LoopSequence((nest_1d(parallel=False),))
+        report = validate_sequence(seq, ("n",))
+        assert not report.ok
+        assert "sequential" in report.findings[0]
+        with pytest.raises(AdmissibilityError):
+            report.raise_if_bad()
+
+    def test_non_affine_names_rejected(self):
+        bad = LoopNest(
+            (Loop.make("i", 2, n - 1),),
+            (assign("a", i + Affine.var("q"), 1.0),),
+        )
+        report = validate_sequence(LoopSequence((bad,)), ("n",))
+        assert not report.ok
+
+    def test_loop_var_in_bounds_rejected(self):
+        bad = LoopNest(
+            (Loop.make("j", 2, n - 1), Loop.make("i", 2, Affine.var("j"))),
+            (assign("a", (Affine.var("j"), i), 1.0),),
+        )
+        report = validate_sequence(LoopSequence((bad,)), ("n",), fuse_depth=1)
+        assert not report.ok
+
+    def test_depth_exceeding_nest_rejected(self):
+        seq = LoopSequence((nest_1d(),))
+        report = validate_sequence(seq, ("n",), fuse_depth=2)
+        assert not report.ok
+
+
+class TestValidateProgram:
+    def test_undeclared_array_flagged(self):
+        from repro.ir import ArrayDecl, single_sequence_program
+
+        prog = single_sequence_program(
+            [nest_1d()], [ArrayDecl.make("a", n + 1)], ("n",)
+        )
+        report = validate_program(prog)
+        assert not report.ok
+        assert any("b" in f for f in report.findings)
+
+    def test_kernels_all_valid(self):
+        from repro.kernels import all_kernels
+
+        for info in all_kernels():
+            assert validate_program(info.program()).ok, info.name
+
+
+class TestCanonicalization:
+    def test_renames_to_first_nest(self):
+        seq = LoopSequence((nest_1d("i"), nest_1d("k")))
+        canon = canonical_fused_vars(seq, 1)
+        assert canon[1].loop_vars == ("i",)
+        assert "a[i]" in str(canon[1].body[0])
+
+    def test_capture_avoidance(self):
+        # Second nest: loops (k, i) fusing depth 1 -> k renamed to i, but the
+        # inner loop already uses i and must be renamed away.
+        inner = LoopNest(
+            (Loop.make("k", 2, n - 1), Loop.make("i", 2, n - 1)),
+            (assign("a", (k, i), load("b", k, i)),),
+        )
+        outer = LoopNest(
+            (Loop.make("i", 2, n - 1), Loop.make("j", 2, n - 1)),
+            (assign("c", (i, Affine.var("j")), load("a", i, Affine.var("j"))),),
+        )
+        canon = canonical_fused_vars(LoopSequence((outer, inner)), 1)
+        vars_ = canon[1].loop_vars
+        assert vars_[0] == "i"
+        assert len(set(vars_)) == 2
+
+    def test_noop_when_aligned(self, fig9_sequence):
+        canon = canonical_fused_vars(fig9_sequence, 1)
+        assert canon[0].loop_vars == fig9_sequence[0].loop_vars

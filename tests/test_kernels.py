@@ -1,0 +1,106 @@
+"""Kernel/application models: registry, structure, Table 1 metadata."""
+
+import pytest
+
+from repro.core import fuse_sequence
+from repro.ir import validate_program
+from repro.kernels import all_kernels, get_kernel
+from repro.kernels.base import KernelInfo, register
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        names = {k.name for k in all_kernels()}
+        assert names == {
+            "ll18", "calc", "filter", "jacobi", "tomcatv", "hydro2d", "spem"
+        }
+
+    def test_get_kernel(self):
+        assert get_kernel("ll18").longest_sequence == 3
+
+    def test_duplicate_registration_rejected(self):
+        info = get_kernel("ll18")
+        with pytest.raises(ValueError):
+            register(info)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", [k.name for k in all_kernels()])
+    def test_programs_valid(self, name):
+        assert validate_program(get_kernel(name).program()).ok
+
+    @pytest.mark.parametrize("name", [k.name for k in all_kernels()])
+    def test_table1_metadata_derivable(self, name):
+        info = get_kernel(name)
+        program = info.program()
+        assert len(program.sequences) == info.num_sequences
+        longest = max(len(seq) for seq in program.sequences)
+        assert longest == info.longest_sequence
+        max_shift = max_peel = 0
+        for seq in program.sequences:
+            plan = fuse_sequence(seq, program.params, info.fuse_depth).plan
+            for k in range(len(seq)):
+                max_shift = max(max_shift, plan.shift(k, 0))
+                max_peel = max(max_peel, plan.peel(k, 0))
+        assert (max_shift, max_peel) == (info.max_shift, info.max_peel)
+
+    def test_ll18_array_count(self):
+        # Fig. 24 emphasizes LL18's nine arrays vs calc's six.
+        assert len(get_kernel("ll18").program().arrays) == 9
+        assert len(get_kernel("calc").program().arrays) == 6
+
+    def test_filter_rectangular(self):
+        prog = get_kernel("filter").program()
+        assert prog.params == ("m", "n")
+
+    def test_spem_3d(self):
+        prog = get_kernel("spem").program()
+        assert all(decl.ndim == 3 for decl in prog.arrays)
+        assert len(prog.sequences) == 11
+
+    def test_applications_flagged(self):
+        for name in ("tomcatv", "hydro2d", "spem"):
+            info = get_kernel(name)
+            assert info.is_application
+            assert 0 < info.transformed_fraction <= 1
+
+    def test_default_params_legal(self):
+        for info in all_kernels():
+            program = info.program()
+            for seq in program.sequences:
+                result = fuse_sequence(seq, program.params, info.fuse_depth)
+                assert result.max_procs(dict(info.default_params))[0] >= 1
+
+
+class TestSynthHelpers:
+    def test_stencil_nest(self):
+        from repro.ir import Affine
+        from repro.kernels import stencil_nest
+
+        nest = stencil_nest(
+            "t", "out", [("a", (1, 0)), ("b", (0, -1))],
+            ("j", "i"), ((2, Affine.var("n") - 1), (2, Affine.var("n") - 1)),
+        )
+        body = str(nest.body[0])
+        assert "a[j+1,i]" in body and "b[j,i-1]" in body
+        assert nest.loops[0].parallel
+
+    def test_stencil_nest_requires_reads(self):
+        from repro.kernels import stencil_nest
+
+        with pytest.raises(ValueError):
+            stencil_nest("t", "out", [], ("i",), ((0, 1),))
+
+    def test_chain_builder(self):
+        from repro.ir import Affine
+        from repro.kernels import chain_sequence_nests
+
+        nests = chain_sequence_nests(
+            "c",
+            [[("src", (0,))], [("w1", (-1,))]],
+            ["w1", "w2"],
+            ("i",),
+            ((2, Affine.var("n") - 1),),
+        )
+        assert len(nests) == 2
+        assert nests[1].name == "cL2"

@@ -1,0 +1,179 @@
+"""DSL lexer, parser, and source-to-source emission."""
+
+import numpy as np
+import pytest
+
+from conftest import alloc_1d, arrays_equal, copy_arrays
+
+from repro.lang import (
+    LexError,
+    ParseError,
+    parse_program,
+    parse_sequence,
+    tokenize,
+    transform_source,
+)
+from repro.lang.emit import emit_direct, emit_spmd, emit_stripmined
+from repro.core import fuse_sequence
+from repro.ir import format_sequence
+from repro.runtime import run_sequence_serial
+
+
+FIG9_SRC = """
+param n
+real a(n+1), b(n+1), c(n+1), d(n+1)
+doall i = 2, n-1
+    a[i] = b[i]
+end do
+doall i = 2, n-1
+    c[i] = a[i+1] + a[i-1]
+end do
+doall i = 2, n-1
+    d[i] = c[i+1] + c[i-1]
+end do
+"""
+
+
+class TestLexer:
+    def test_tokens(self):
+        toks = tokenize("doall i = 2, n-1")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["DOALL", "ID", "EQUALS", "NUM", "COMMA", "ID", "MINUS", "NUM", "NEWLINE", "EOF"]
+
+    def test_comment_stripped(self):
+        toks = tokenize("a[i] = 1 ! comment with $ symbols")
+        assert all(t.kind != "ID" or t.text in ("a", "i") for t in toks)
+
+    def test_bad_char(self):
+        with pytest.raises(LexError):
+            tokenize("a[i] = b @ c")
+
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("DOALL i = 1, 2")
+        assert toks[0].kind == "DOALL"
+
+
+class TestParser:
+    def test_fig9(self):
+        prog = parse_program(FIG9_SRC, "fig9")
+        assert prog.params == ("n",)
+        assert prog.array_names() == ("a", "b", "c", "d")
+        seq = prog.sequences[0]
+        assert len(seq) == 3
+        assert str(seq[1].body[0]) == "c[i] = (a[i+1]+a[i-1])"
+
+    def test_paren_subscripts(self):
+        seq = parse_sequence("doall i = 1, n\n a(i) = b(i-1)\nend do")
+        assert str(seq[0].body[0]) == "a[i] = b[i-1]"
+
+    def test_nested_loops(self):
+        src = """
+doall j = 2, n-1
+doall i = 2, n-1
+    a[i,j] = b[i,j-1]
+end do
+end do
+"""
+        seq = parse_sequence(src)
+        assert seq[0].depth == 2
+        assert seq[0].loop_vars == ("j", "i")
+
+    def test_do_is_sequential(self):
+        seq = parse_sequence("do i = 1, n\n a[i] = b[i]\nend do")
+        assert not seq[0].loops[0].parallel
+
+    def test_array_inference(self):
+        prog = parse_program("doall i = 1, n\n a[i] = b[i]\nend do")
+        assert set(prog.array_names()) == {"a", "b"}
+
+    def test_param_inference(self):
+        prog = parse_program("doall i = 1, m\n a[i] = b[i]\nend do")
+        assert "m" in prog.params
+
+    def test_rhs_arith_precedence(self):
+        seq = parse_sequence("doall i = 1, n\n a[i] = b[i] + c[i] * 2\nend do")
+        assert str(seq[0].body[0]) == "a[i] = (b[i]+(c[i]*2.0))"
+
+    def test_coefficient_subscript(self):
+        seq = parse_sequence("doall i = 1, n\n a[2*i] = b[i]\nend do")
+        assert seq[0].body[0].target.subscripts[0].coeff("i") == 2
+
+    def test_scalar_rhs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sequence("doall i = 1, n\n a[i] = x\nend do")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("param n")
+
+    def test_float_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sequence("doall i = 1, n\n a[1.5] = b[i]\nend do")
+
+    def test_roundtrip_through_printer(self):
+        seq = parse_sequence(FIG9_SRC)
+        printed = format_sequence(seq)
+        reparsed = parse_sequence(printed)
+        assert format_sequence(reparsed) == printed
+
+
+class TestEmission:
+    def test_stripmined_matches_fig12(self):
+        prog = parse_program(FIG9_SRC)
+        plan = fuse_sequence(prog.sequences[0], prog.params).plan
+        text = emit_stripmined(plan)
+        assert "do ii = istart, iend, s" in text
+        assert "max(ii-1,istart+1)" in text
+        assert "min(ii+s-2,iend-1)" in text
+        assert "<BARRIER>" in text
+        assert "do i = iend, iend+1" in text  # peeled c loop
+        assert "do i = iend-1, iend+2" in text  # peeled d loop
+
+    def test_direct_matches_fig11a(self):
+        prog = parse_program(FIG9_SRC)
+        plan = fuse_sequence(prog.sequences[0], prog.params).plan
+        text = emit_direct(plan)
+        assert "if (i >= istart+1) c[i-1]" in text
+        assert "if (i >= istart+2) d[i-2]" in text
+
+    def test_spmd_has_prologue_and_peels(self, jacobi_sequence):
+        plan = fuse_sequence(jacobi_sequence, ("n",)).plan
+        text = emit_spmd(plan)
+        assert "fpeel" in text and "ppeel" in text
+        assert "<BARRIER>" in text
+        assert text.count("end do") >= 6
+
+    def test_transform_source_styles(self):
+        for style in ("stripmined", "direct", "spmd"):
+            out = transform_source(FIG9_SRC, style=style)
+            assert "c[" in out
+        with pytest.raises(ValueError):
+            transform_source(FIG9_SRC, style="magic")
+
+    def test_stripmined_rejects_multidim(self, jacobi_sequence):
+        plan = fuse_sequence(jacobi_sequence, ("n",)).plan
+        with pytest.raises(ValueError):
+            emit_stripmined(plan)
+
+
+class TestParsedExecution:
+    def test_parsed_program_runs(self):
+        prog = parse_program(FIG9_SRC)
+        arrays = alloc_1d("abcd", 20, seed=1)
+        run_sequence_serial(prog.sequences[0], {"n": 19}, arrays)
+        assert np.isclose(arrays["d"][3], arrays["c"][4] + arrays["c"][2])
+
+    def test_parsed_fusion_correct(self):
+        from repro.core import build_execution_plan, derive_shift_peel
+        from repro.runtime import run_parallel
+
+        prog = parse_program(FIG9_SRC)
+        seq = prog.sequences[0]
+        base = alloc_1d("abcd", 30, seed=8)
+        oracle = copy_arrays(base)
+        run_sequence_serial(seq, {"n": 29}, oracle)
+        plan = derive_shift_peel(seq, ("n",))
+        ep = build_execution_plan(plan, {"n": 29}, num_procs=3)
+        got = copy_arrays(base)
+        run_parallel(ep, got, interleave="random", rng=np.random.default_rng(0))
+        assert arrays_equal(oracle, got)

@@ -1,0 +1,203 @@
+"""Memory layouts, machine specs, trace generation, timing simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_execution_plan, derive_shift_peel
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+from repro.machine import (
+    ArrayPlacement,
+    MemoryLayout,
+    box_trace,
+    contiguous_layout,
+    convex_spp1000,
+    fused_proc_trace,
+    ksr2,
+    measure_fused,
+    measure_unfused,
+    nest_block_trace,
+    unfused_proc_trace,
+)
+
+i = Affine.var("i")
+j = Affine.var("j")
+n = Affine.var("n")
+
+
+class TestPlacement:
+    def test_strides_row_major(self):
+        pl = ArrayPlacement("a", 0, (4, 6), (4, 8))
+        assert pl.strides_elems == (8, 1)
+        assert pl.size_bytes == 4 * 8 * 8
+
+    def test_address(self):
+        pl = ArrayPlacement("a", 1000, (4, 4), (4, 4), elem_size=8)
+        assert pl.address((1, 2)) == 1000 + (4 + 2) * 8
+
+    def test_padding_validation(self):
+        with pytest.raises(ValueError):
+            ArrayPlacement("a", 0, (4, 4), (4, 3))
+
+
+class TestLayout:
+    def test_contiguous(self):
+        layout = contiguous_layout([("a", (4, 4)), ("b", (4, 4))], align=64)
+        assert layout["b"].start >= layout["a"].end
+        assert layout.data_bytes == 2 * 16 * 8
+
+    def test_pad_inner(self):
+        layout = contiguous_layout([("a", (4, 4))], pad_inner=3)
+        assert layout["a"].padded_shape == (4, 7)
+        assert layout.overhead_bytes >= 3 * 4 * 8
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(
+                (
+                    ArrayPlacement("a", 0, (4,), (4,)),
+                    ArrayPlacement("b", 8, (4,), (4,)),
+                )
+            )
+
+    def test_lookup(self):
+        layout = contiguous_layout([("a", (4,))])
+        assert "a" in layout and "z" not in layout
+        with pytest.raises(KeyError):
+            layout["z"]
+
+
+class TestSpecs:
+    def test_remote_fraction_monotone(self):
+        spec = ksr2()
+        fracs = [spec.remote_fraction(p) for p in (1, 2, 8, 56)]
+        assert fracs[0] == 0.0
+        assert all(a <= b for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] <= spec.remote_cap
+
+    def test_hypernode_step(self):
+        spec = convex_spp1000()
+        assert spec.remote_fraction(8) == 0.0
+        assert spec.remote_fraction(9) > 0.0
+        assert spec.miss_penalty(16) > spec.miss_penalty(8)
+
+    def test_barrier_grows(self):
+        spec = ksr2()
+        assert spec.barrier_cycles(56) > spec.barrier_cycles(2)
+
+    def test_scaled_preserves_assoc(self):
+        spec = ksr2().scaled(4)
+        assert spec.cache.associativity == 2
+        assert spec.cache.capacity_bytes == 64 * 1024
+
+
+def simple_seq():
+    l1 = LoopNest((Loop.make("i", 2, n - 1),), (assign("a", i, load("b", i)),))
+    l2 = LoopNest(
+        (Loop.make("i", 2, n - 1),),
+        (assign("c", i, load("a", i + 1) + load("a", i - 1)),),
+    )
+    return LoopSequence((l1, l2), name="s")
+
+
+class TestTraceGeneration:
+    LAYOUT = contiguous_layout([("a", (64,)), ("b", (64,)), ("c", (64,))])
+
+    def test_box_trace_matches_interpreter_order(self):
+        seq = simple_seq()
+        trace = box_trace(seq[0], [(2, 4)], self.LAYOUT, {"n": 63})
+        a0 = self.LAYOUT["a"].start
+        b0 = self.LAYOUT["b"].start
+        expected = []
+        for it in (2, 3, 4):
+            expected.extend([b0 + 8 * it, a0 + 8 * it])  # read b, write a
+        assert trace.tolist() == expected
+
+    def test_stencil_offsets(self):
+        seq = simple_seq()
+        trace = box_trace(seq[1], [(3, 3)], self.LAYOUT, {"n": 63})
+        a0 = self.LAYOUT["a"].start
+        c0 = self.LAYOUT["c"].start
+        assert trace.tolist() == [a0 + 8 * 4, a0 + 8 * 2, c0 + 8 * 3]
+
+    def test_empty_box(self):
+        seq = simple_seq()
+        assert box_trace(seq[0], [(5, 4)], self.LAYOUT, {"n": 63}).size == 0
+
+    def test_2d_trace_row_major(self):
+        nest = LoopNest(
+            (Loop.make("j", 0, 1), Loop.make("i", 0, 1)),
+            (assign("m", (j, i), 1.0),),
+        )
+        layout = contiguous_layout([("m", (8, 8))])
+        trace = box_trace(nest, [(0, 1), (0, 1)], layout, {})
+        base = layout["m"].start
+        assert trace.tolist() == [base, base + 8, base + 64, base + 72]
+
+    def test_unfused_proc_trace_concatenates(self):
+        seq = simple_seq()
+        full = unfused_proc_trace(seq, {"n": 11}, self.LAYOUT)
+        n1 = nest_block_trace(seq[0], {"n": 11}, self.LAYOUT).size
+        n2 = nest_block_trace(seq[1], {"n": 11}, self.LAYOUT).size
+        assert full.size == n1 + n2
+
+    def test_block_restriction(self):
+        seq = simple_seq()
+        part = nest_block_trace(seq[0], {"n": 11}, self.LAYOUT, block0=(2, 5))
+        assert part.size == 4 * 2
+
+    def test_fused_trace_counts(self):
+        seq = simple_seq()
+        plan = derive_shift_peel(seq, ("n",))
+        ep = build_execution_plan(plan, {"n": 31}, num_procs=3)
+        total_refs = 0
+        for proc in ep.processors:
+            fused, peeled = fused_proc_trace(ep, proc, self.LAYOUT, strip=4)
+            total_refs += fused.size + peeled.size
+        expected = sum(
+            nest.iteration_count({"n": 31}) * (len(nest.body[0].reads()) + 1)
+            for nest in seq
+        )
+        assert total_refs == expected
+
+    def test_unbound_name_raises(self):
+        nest = LoopNest(
+            (Loop.make("i", 0, 3),),
+            (assign("a", i + Affine.var("q"), 1.0),),
+        )
+        layout = contiguous_layout([("a", (64,))])
+        with pytest.raises(KeyError):
+            box_trace(nest, [(0, 3)], layout, {})
+
+
+class TestSimulator:
+    def test_fusion_reduces_misses_when_data_exceeds_cache(self):
+        from repro.experiments.common import setup_kernel
+
+        exp = setup_kernel("ll18", convex_spp1000(), dims_div=4)
+        unf = measure_unfused(exp.seq, exp.params, exp.layout, exp.machine, 1)
+        fus = measure_fused(exp.exec_plan(1), exp.layout, exp.machine, strip=exp.strip)
+        assert fus.misses < unf.misses
+        assert fus.refs == unf.refs  # same work, relocated
+        assert unf.barriers == 3 and fus.barriers == 2
+
+    def test_speedup_over(self):
+        from repro.machine.simulator import RunMeasurement
+
+        a = RunMeasurement("unfused", "m", 1, 100.0, 0, 0, 0)
+        b = RunMeasurement("fused", "m", 1, 50.0, 0, 0, 0)
+        assert b.speedup_over(a) == 2.0
+
+    def test_time_decreases_with_procs(self):
+        from repro.experiments.common import setup_kernel
+
+        exp = setup_kernel("ll18", convex_spp1000(), dims_div=4)
+        t1 = measure_unfused(exp.seq, exp.params, exp.layout, exp.machine, 1)
+        t4 = measure_unfused(exp.seq, exp.params, exp.layout, exp.machine, 4)
+        assert t4.time_cycles < t1.time_cycles
+
+    def test_peeled_refs_reported(self):
+        from repro.experiments.common import setup_kernel
+
+        exp = setup_kernel("ll18", convex_spp1000(), dims_div=4)
+        fus = measure_fused(exp.exec_plan(4), exp.layout, exp.machine, strip=exp.strip)
+        assert fus.peeled_refs > 0

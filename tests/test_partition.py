@@ -1,0 +1,176 @@
+"""Cache partitioning: greedy layout (Fig. 19), compatibility, padding."""
+
+import numpy as np
+import pytest
+
+from repro.cachesim import CacheConfig, simulate
+from repro.ir import Affine, ArrayRef, Loop, LoopNest
+from repro.ir.stmt import assign, load
+from repro.partition import (
+    analyze_compatibility,
+    all_compatible,
+    classify_pair,
+    greedy_memory_layout,
+    max_strip_elements,
+    padded_layout,
+    padding_overhead_bytes,
+    padding_sweep,
+    partitioned_layout_from_decls,
+)
+
+CACHE = CacheConfig(8 * 1024, 64, 1)
+
+
+def arrays(num, dim=64):
+    return [(f"x{k}", (dim, dim)) for k in range(num)]
+
+
+class TestGreedyLayout:
+    def test_distinct_partitions(self):
+        res = greedy_memory_layout(arrays(4), CACHE)
+        parts = [a.partition for a in res.assignments]
+        assert sorted(parts) == [0, 1, 2, 3]
+
+    def test_starts_map_to_partition_targets(self):
+        res = greedy_memory_layout(arrays(4), CACHE)
+        sp = res.partition_bytes
+        for rec in res.assignments:
+            start = res.layout[rec.array].start
+            assert CACHE.map_address(start) == rec.target_cache_address
+            assert rec.target_cache_address == rec.partition * sp
+
+    def test_no_overlap_and_order_preserved(self):
+        res = greedy_memory_layout(arrays(6), CACHE)
+        placements = sorted(res.layout.placements, key=lambda p: p.start)
+        for a, b in zip(placements, placements[1:]):
+            assert a.end <= b.start
+
+    def test_gap_overhead_bounded(self):
+        # Each gap is at most one cache-way period.
+        res = greedy_memory_layout(arrays(5), CACHE)
+        assert res.gap_overhead_bytes <= 5 * CACHE.way_bytes
+        for rec in res.assignments:
+            assert 0 <= rec.gap_bytes < CACHE.way_bytes
+
+    def test_explicit_order(self):
+        names = [f"x{k}" for k in range(3)]
+        res = greedy_memory_layout(arrays(3), CACHE, order=list(reversed(names)))
+        placed = sorted(res.layout.placements, key=lambda p: p.start)
+        assert placed[0].name == "x2"
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_memory_layout(arrays(2), CACHE, order=["x0", "zz"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_memory_layout([], CACHE)
+
+    def test_set_associative_shares_partitions(self):
+        cache2 = CacheConfig(8 * 1024, 64, 2)
+        res = greedy_memory_layout(arrays(4), cache2)
+        targets = [a.target_cache_address for a in res.assignments]
+        # Pairs of arrays share a target region (hardware keeps them apart).
+        assert len(set(targets)) == 2
+
+    def test_from_decls(self):
+        from repro.kernels import ll18
+
+        prog = ll18.program()
+        res = partitioned_layout_from_decls(prog.arrays, {"n": 31}, CACHE)
+        assert len(res.layout.placements) == 9
+
+    def test_partitioning_eliminates_cross_conflicts(self):
+        """The defining property: two arrays streamed in lockstep never
+        conflict under the partitioned layout, but do when contiguous
+        power-of-two arrays map on top of each other."""
+        dim = 32  # 32x32 doubles = 8KB = exactly the cache size
+        res = greedy_memory_layout(arrays(2, dim), CACHE)
+        naive_starts = {"x0": 0, "x1": dim * dim * 8}
+
+        def stream_trace(starts):
+            out = []
+            for row in range(dim):
+                for col in range(dim):
+                    out.append(starts["x0"] + (row * dim + col) * 8)
+                    out.append(starts["x1"] + (row * dim + col) * 8)
+            return np.array(out, dtype=np.int64)
+
+        part_starts = {p.name: p.start for p in res.layout.placements}
+        misses_part = simulate(stream_trace(part_starts), CACHE).misses
+        misses_naive = simulate(stream_trace(naive_starts), CACHE).misses
+        assert misses_naive > 2 * misses_part
+
+
+class TestStripSelection:
+    def test_strip_fits_partition(self):
+        assert max_strip_elements(8192, 8, rows_live=4) == 256
+        assert max_strip_elements(100, 8, rows_live=4) == 3
+
+    def test_minimum_one(self):
+        assert max_strip_elements(4, 8) == 1
+
+
+class TestCompatibility:
+    i, j = Affine.var("i"), Affine.var("j")
+
+    def _nest(self, *stmts):
+        return LoopNest(
+            (Loop.make("j", 1, 10), Loop.make("i", 1, 10)), tuple(stmts)
+        )
+
+    def test_identical_matrices_compatible(self):
+        nest = self._nest(
+            assign("a", (self.j, self.i), load("b", self.j, self.i + 1))
+        )
+        reports = analyze_compatibility([nest], ("j", "i"))
+        assert all_compatible(reports)
+
+    def test_permutation_detected(self):
+        nest = self._nest(
+            assign("a", (self.j, self.i), load("b", self.i, self.j))
+        )
+        reports = analyze_compatibility([nest], ("j", "i"))
+        bad = [r for r in reports if not r.compatible]
+        assert bad and bad[0].fix == "permute array dimensions"
+
+    def test_stride_detected(self):
+        mat_a = ((1, 0), (0, 1))
+        mat_b = ((2, 0), (0, 1))
+        rep = classify_pair("a", mat_a, "b", mat_b)
+        assert not rep.compatible
+        assert "compress" in rep.fix
+
+    def test_sign_detected(self):
+        mat_a = ((1, 0), (0, 1))
+        mat_b = ((-1, 0), (0, 1))
+        rep = classify_pair("a", mat_a, "b", mat_b)
+        assert "reverse storage order" in rep.fix
+
+    def test_unrelated_no_fix(self):
+        rep = classify_pair("a", ((1, 1),), "b", ((1, -2),))
+        assert not rep.compatible and rep.fix is None
+
+    def test_kernels_compatible(self):
+        """Every kernel's arrays are mutually compatible in the fused dim —
+        the precondition for cache partitioning to be conflict-free."""
+        from repro.kernels import get_kernel
+
+        for name in ("ll18", "calc", "filter", "jacobi", "tomcatv"):
+            info = get_kernel(name)
+            seq = info.program().sequences[0]
+            vars_ = seq[0].loop_vars
+            reports = analyze_compatibility(list(seq), vars_)
+            assert all_compatible(reports), (name, [str(r) for r in reports])
+
+
+class TestPadding:
+    def test_padded_layout_shapes(self):
+        layout = padded_layout([("a", (8, 8)), ("b", (8, 8))], pad_elems=5)
+        assert layout["a"].padded_shape == (8, 13)
+
+    def test_sweep_values(self):
+        assert padding_sweep() == [1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21]
+
+    def test_overhead(self):
+        assert padding_overhead_bytes([("a", (10, 8))], 4) == 10 * 4 * 8

@@ -1,0 +1,104 @@
+"""Fusion profitability predictor (Secs. 5-6) and its simulator validation."""
+
+import pytest
+
+from repro.core import (
+    derive_shift_peel,
+    evaluate_profitability,
+    peel_overhead_fraction,
+    shared_data_bytes,
+)
+from repro.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def ll18_setup():
+    info = get_kernel("ll18")
+    program = info.program()
+    plan = derive_shift_peel(program.sequences[0], program.params, 1)
+    return program, plan
+
+
+class TestDataFootprint:
+    def test_shared_data_bytes(self, ll18_setup):
+        program, _ = ll18_setup
+        # 9 arrays of (n+1)^2 doubles.
+        assert shared_data_bytes(program, {"n": 127}) == 9 * 128 * 128 * 8
+
+
+class TestPeelOverhead:
+    def test_zero_for_one_proc(self, ll18_setup):
+        program, plan = ll18_setup
+        assert peel_overhead_fraction(plan, {"n": 127}, 1) == 0.0
+
+    def test_grows_with_procs(self, ll18_setup):
+        program, plan = ll18_setup
+        f8 = peel_overhead_fraction(plan, {"n": 127}, 8)
+        f32 = peel_overhead_fraction(plan, {"n": 127}, 32)
+        assert 0 < f8 < f32 < 1
+
+
+class TestAdvice:
+    def test_profitable_when_data_large(self, ll18_setup):
+        program, plan = ll18_setup
+        advice = evaluate_profitability(
+            program, plan, {"n": 127}, num_procs=4, cache_bytes=64 * 1024
+        )
+        assert advice.profitable
+        assert "exceeds cache" in advice.reason
+
+    def test_unprofitable_when_data_fits(self, ll18_setup):
+        program, plan = ll18_setup
+        advice = evaluate_profitability(
+            program, plan, {"n": 127}, num_procs=64, cache_bytes=1024 * 1024
+        )
+        assert not advice.profitable
+        assert "fits in cache" in advice.reason
+
+    def test_unprofitable_when_overhead_dominates(self, ll18_setup):
+        program, plan = ll18_setup
+        advice = evaluate_profitability(
+            program, plan, {"n": 34}, num_procs=8, cache_bytes=1024,
+            overhead_threshold=0.05,
+        )
+        assert not advice.profitable
+        assert "overhead" in advice.reason
+
+    def test_crossover_estimate(self, ll18_setup):
+        program, plan = ll18_setup
+        advice = evaluate_profitability(
+            program, plan, {"n": 127}, num_procs=2, cache_bytes=64 * 1024
+        )
+        data = shared_data_bytes(program, {"n": 127})
+        assert advice.crossover_procs == data // (64 * 1024)
+
+    def test_str(self, ll18_setup):
+        program, plan = ll18_setup
+        advice = evaluate_profitability(
+            program, plan, {"n": 127}, 4, 64 * 1024
+        )
+        assert "fuse" in str(advice)
+
+
+class TestPredictorAgainstSimulator:
+    def test_predicts_simulated_crossover_direction(self):
+        """Where the predictor says 'do not fuse', the simulator should show
+        little or negative benefit; where it says 'fuse', clear benefit."""
+        from repro.experiments.common import setup_kernel
+        from repro.machine import convex_spp1000, measure_fused, measure_unfused
+
+        exp = setup_kernel("ll18", convex_spp1000(), dims_div=4)
+        program = exp.program
+        plan = exp.fusion.plan
+        cache = exp.machine.cache.capacity_bytes
+
+        profitable = evaluate_profitability(program, plan, exp.params, 1, cache)
+        assert profitable.profitable
+        unf = measure_unfused(exp.seq, exp.params, exp.layout, exp.machine, 1)
+        fus = measure_fused(exp.exec_plan(1), exp.layout, exp.machine, strip=exp.strip)
+        assert fus.time_cycles < unf.time_cycles
+
+        crowded = evaluate_profitability(
+            program, plan, exp.params, num_procs=30, cache_bytes=cache
+        )
+        assert not crowded.profitable

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The headline property: for *any* randomly generated admissible chain of
+stencil loops, any legal processor count and any adversarial interleaving,
+shift-and-peel execution is bit-identical to the serial oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim import CacheConfig, simulate
+from repro.core import (
+    BlockSchedule,
+    build_execution_plan,
+    derive_shift_peel,
+    max_processors,
+    verify_coverage,
+)
+from repro.dependence.solver import solve_uniform_distance
+from repro.ir import Affine, ArrayRef, Loop, LoopNest, LoopSequence, assign, load
+from repro.runtime import run_parallel, run_sequence_serial
+
+
+# ---------------------------------------------------------------------------
+# Affine algebra
+# ---------------------------------------------------------------------------
+
+names = st.sampled_from(["i", "j", "k", "n"])
+affines = st.builds(
+    lambda coeffs, const: Affine.from_dict(coeffs, const),
+    st.dictionaries(names, st.integers(-5, 5), max_size=3),
+    st.integers(-10, 10),
+)
+envs = st.fixed_dictionaries(
+    {"i": st.integers(-50, 50), "j": st.integers(-50, 50),
+     "k": st.integers(-50, 50), "n": st.integers(-50, 50)}
+)
+
+
+class TestAffineProperties:
+    @given(affines, affines, envs)
+    def test_add_homomorphism(self, a, b, env):
+        assert (a + b).eval(env) == a.eval(env) + b.eval(env)
+
+    @given(affines, affines, envs)
+    def test_sub_homomorphism(self, a, b, env):
+        assert (a - b).eval(env) == a.eval(env) - b.eval(env)
+
+    @given(affines, st.integers(-6, 6), envs)
+    def test_scale_homomorphism(self, a, k, env):
+        assert (a * k).eval(env) == k * a.eval(env)
+
+    @given(affines, st.integers(-5, 5), envs)
+    def test_shift_var_meaning(self, a, delta, env):
+        shifted = a.shift_var("i", delta)
+        moved = dict(env)
+        moved["i"] = env["i"] + delta
+        assert shifted.eval(env) == a.eval(moved)
+
+    @given(affines, affines, envs)
+    def test_substitute_meaning(self, a, b, env):
+        out = a.substitute("i", b)
+        inner = dict(env)
+        inner["i"] = b.eval(env)
+        assert out.eval(env) == a.eval(inner)
+
+    @given(affines)
+    def test_canonical_roundtrip(self, a):
+        rebuilt = Affine.from_dict(dict(a.coeffs), a.const)
+        assert rebuilt == a and hash(rebuilt) == hash(a)
+
+
+# ---------------------------------------------------------------------------
+# Block scheduling
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleProperties:
+    @given(st.integers(0, 50), st.integers(1, 200), st.integers(1, 40))
+    def test_blocks_partition_range(self, lower, trip, blocks):
+        blocks = min(blocks, trip)
+        sched = BlockSchedule(lower, lower + trip - 1, blocks)
+        covered = []
+        sizes = []
+        for lo, hi in sched.blocks():
+            covered.extend(range(lo, hi + 1))
+            sizes.append(hi - lo + 1)
+        assert covered == list(range(lower, lower + trip))
+        assert max(sizes) - min(sizes) <= 1  # balanced
+        for p in range(1, blocks + 1):
+            lo, hi = sched.block(p)
+            assert all(sched.owner(x) == p for x in (lo, hi))
+
+
+# ---------------------------------------------------------------------------
+# Distance solver: solving recovers a planted translation
+# ---------------------------------------------------------------------------
+
+
+class TestSolverProperties:
+    @given(
+        st.integers(-4, 4), st.integers(-4, 4),
+        st.integers(-4, 4), st.integers(-4, 4),
+    )
+    def test_planted_distance_recovered(self, c1, c2, d1, d2):
+        i, j = Affine.var("i"), Affine.var("j")
+        src = ArrayRef.make("a", i + c1, j + c2)
+        dst = ArrayRef.make("a", i + c1 - d1, j + c2 - d2)
+        sol = solve_uniform_distance(src, dst, ("i", "j"))
+        assert sol.status == "uniform"
+        assert sol.distance == (d1, d2)
+
+
+# ---------------------------------------------------------------------------
+# Cache simulator vs reference
+# ---------------------------------------------------------------------------
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(st.integers(0, 255), min_size=1, max_size=400),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_lru(self, raw, assoc):
+        cfg = CacheConfig(1024, 64, assoc)
+        addrs = (np.array(raw, dtype=np.int64) * 32)
+        lines = addrs // cfg.line_bytes
+        sets = lines % cfg.num_sets
+        tags = lines // cfg.num_sets
+        state: dict[int, list[int]] = {}
+        misses = 0
+        for s, t in zip(sets.tolist(), tags.tolist()):
+            ways = state.setdefault(s, [])
+            if t in ways:
+                ways.remove(t)
+                ways.insert(0, t)
+            else:
+                misses += 1
+                ways.insert(0, t)
+                if len(ways) > assoc:
+                    ways.pop()
+        assert simulate(addrs, cfg).misses == misses
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_miss_count_bounds(self, raw):
+        cfg = CacheConfig(512, 64, 1)
+        addrs = np.array(raw, dtype=np.int64)
+        stats = simulate(addrs, cfg)
+        distinct_lines = len(set((a // 64) for a in raw))
+        assert distinct_lines <= stats.misses <= stats.accesses
+
+
+# ---------------------------------------------------------------------------
+# THE property: random chains fused == oracle under adversarial interleave
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def stencil_chains(draw):
+    """A random admissible sequence: nest k writes t<k> reading the previous
+    temporary (or the input) at random offsets within +/-2."""
+    num_nests = draw(st.integers(2, 5))
+    chains = []
+    for k in range(num_nests):
+        source = f"t{k - 1}" if k else "src"
+        offsets = draw(
+            st.lists(st.integers(-2, 2), min_size=1, max_size=3, unique=True)
+        )
+        extra = draw(st.booleans())
+        reads = [(source, off) for off in offsets]
+        if extra and k >= 2:
+            reads.append((f"t{k - 2}", draw(st.integers(-2, 2))))
+        chains.append(reads)
+    return chains
+
+
+def build_chain_sequence(chains):
+    i = Affine.var("i")
+    n = Affine.var("n")
+    nests = []
+    for k, reads in enumerate(chains):
+        rhs = None
+        for array, off in reads:
+            term = load(array, i + off)
+            rhs = term if rhs is None else rhs + term
+        nests.append(
+            LoopNest(
+                (Loop.make("i", 3, n - 3),),
+                (assign(f"t{k}", i, rhs * 0.5),),
+                name=f"L{k + 1}",
+            )
+        )
+    return LoopSequence(tuple(nests), name="rand")
+
+
+class TestFusionCorrectnessProperty:
+    @given(stencil_chains(), st.integers(1, 6), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_fused_equals_oracle(self, chains, procs, seed):
+        seq = build_chain_sequence(chains)
+        params = {"n": 48}
+        plan = derive_shift_peel(seq, ("n",))
+        procs = min(procs, max_processors(plan, params)[0])
+
+        rng = np.random.default_rng(seed)
+        names = ["src"] + [f"t{k}" for k in range(len(chains))]
+        base = {name: rng.random(49) + 0.5 for name in names}
+
+        oracle = {k: v.copy() for k, v in base.items()}
+        run_sequence_serial(seq, params, oracle)
+
+        ep = build_execution_plan(plan, params, num_procs=procs)
+        assert verify_coverage(ep)
+        got = {k: v.copy() for k, v in base.items()}
+        run_parallel(
+            ep, got, interleave="random", strip=3,
+            rng=np.random.default_rng(seed + 1),
+        )
+        for name in names:
+            assert np.allclose(oracle[name], got[name]), name
+
+    @given(stencil_chains())
+    @settings(max_examples=30, deadline=None)
+    def test_derived_amounts_bound_distances(self, chains):
+        """Shifts cover every backward distance; peels every forward one."""
+        from repro.dependence import analyze_sequence
+
+        seq = build_chain_sequence(chains)
+        plan = derive_shift_peel(seq, ("n",))
+        summary = analyze_sequence(plan.seq, ("n",))
+        for dep in summary.deps:
+            d = dep.distance[0]
+            gap = d + plan.shift(dep.dst, 0) - plan.shift(dep.src, 0)
+            assert gap >= 0, f"{dep} not made non-negative by shifting"
+            if d > 0:
+                assert plan.peel(dep.dst, 0) >= plan.peel(dep.src, 0) + d

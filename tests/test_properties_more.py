@@ -1,0 +1,215 @@
+"""Further property-based tests: 2-D fusion, generated code equivalence,
+greedy partitioning invariants, DSL round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cachesim import CacheConfig
+from repro.codegen import run_direct, run_spmd
+from repro.core import (
+    build_execution_plan,
+    derive_shift_peel,
+    max_processors,
+    verify_coverage,
+)
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+from repro.lang import parse_sequence
+from repro.ir.printer import format_sequence
+from repro.partition import greedy_memory_layout
+from repro.runtime import run_parallel, run_sequence_serial
+
+
+# ---------------------------------------------------------------------------
+# 2-D chains fused in both dimensions
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def chains_2d(draw):
+    num_nests = draw(st.integers(2, 3))
+    chains = []
+    for k in range(num_nests):
+        source = f"t{k - 1}" if k else "src"
+        num_reads = draw(st.integers(1, 3))
+        offsets = draw(
+            st.lists(
+                st.tuples(st.integers(-1, 1), st.integers(-1, 1)),
+                min_size=num_reads, max_size=num_reads, unique=True,
+            )
+        )
+        chains.append([(source, off) for off in offsets])
+    return chains
+
+
+def build_2d_sequence(chains):
+    ii = Affine.var("i")
+    jj = Affine.var("j")
+    n = Affine.var("n")
+    nests = []
+    for k, reads in enumerate(chains):
+        rhs = None
+        for array, (dj, di) in reads:
+            term = load(array, jj + dj, ii + di)
+            rhs = term if rhs is None else rhs + term
+        nests.append(
+            LoopNest(
+                (Loop.make("j", 2, n - 1), Loop.make("i", 2, n - 1)),
+                (assign(f"t{k}", (jj, ii), rhs * 0.5),),
+                name=f"L{k + 1}",
+            )
+        )
+    return LoopSequence(tuple(nests), name="rand2d")
+
+
+class Test2DFusionProperty:
+    @given(chains_2d(), st.integers(1, 3), st.integers(1, 3), st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_fused_2d_equals_oracle(self, chains, gj, gi, seed):
+        seq = build_2d_sequence(chains)
+        params = {"n": 25}
+        plan = derive_shift_peel(seq, ("n",))
+        ceilings = max_processors(plan, params)
+        grid = (min(gj, ceilings[0]), min(gi, ceilings[1]))
+
+        rng = np.random.default_rng(seed)
+        names = ["src"] + [f"t{k}" for k in range(len(chains))]
+        base = {name: rng.random((26, 26)) + 0.5 for name in names}
+
+        oracle = {k: v.copy() for k, v in base.items()}
+        run_sequence_serial(seq, params, oracle)
+
+        ep = build_execution_plan(plan, params, grid_shape=grid)
+        assert verify_coverage(ep)
+        got = {k: v.copy() for k, v in base.items()}
+        run_parallel(ep, got, interleave="random", strip=3,
+                     rng=np.random.default_rng(seed + 1))
+        for name in names:
+            assert np.allclose(oracle[name], got[name]), name
+
+
+# ---------------------------------------------------------------------------
+# Generated code equals the oracle too (CIR paths)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def chains_1d(draw):
+    num_nests = draw(st.integers(2, 4))
+    out = []
+    for k in range(num_nests):
+        source = f"t{k - 1}" if k else "src"
+        offsets = draw(
+            st.lists(st.integers(-2, 2), min_size=1, max_size=3, unique=True)
+        )
+        out.append([(source, off) for off in offsets])
+    return out
+
+
+def build_1d_sequence(chains):
+    ii = Affine.var("i")
+    n = Affine.var("n")
+    nests = []
+    for k, reads in enumerate(chains):
+        rhs = None
+        for array, off in reads:
+            term = load(array, ii + off)
+            rhs = term if rhs is None else rhs + term
+        nests.append(
+            LoopNest(
+                (Loop.make("i", 3, n - 3),),
+                (assign(f"t{k}", ii, rhs * 0.5),),
+                name=f"L{k + 1}",
+            )
+        )
+    return LoopSequence(tuple(nests), name="rand1d")
+
+
+class TestGeneratedCodeProperty:
+    @given(chains_1d(), st.integers(1, 4), st.integers(2, 7), st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_spmd_code_equals_oracle(self, chains, procs, strip, seed):
+        seq = build_1d_sequence(chains)
+        params = {"n": 40}
+        plan = derive_shift_peel(seq, ("n",))
+        procs = min(procs, max_processors(plan, params)[0])
+
+        rng = np.random.default_rng(seed)
+        names = ["src"] + [f"t{k}" for k in range(len(chains))]
+        base = {name: rng.random(41) + 0.5 for name in names}
+        oracle = {k: v.copy() for k, v in base.items()}
+        run_sequence_serial(seq, params, oracle)
+
+        ep = build_execution_plan(plan, params, num_procs=procs)
+        got = {k: v.copy() for k, v in base.items()}
+        order = list(rng.permutation(procs))
+        run_spmd(ep, got, strip=strip, proc_order=[int(p) for p in order])
+        for name in names:
+            assert np.allclose(oracle[name], got[name]), name
+
+    @given(chains_1d(), st.integers(0, 99))
+    @settings(max_examples=25, deadline=None)
+    def test_direct_method_equals_oracle(self, chains, seed):
+        seq = build_1d_sequence(chains)
+        params = {"n": 40}
+        plan = derive_shift_peel(seq, ("n",))
+        rng = np.random.default_rng(seed)
+        names = ["src"] + [f"t{k}" for k in range(len(chains))]
+        base = {name: rng.random(41) + 0.5 for name in names}
+        oracle = {k: v.copy() for k, v in base.items()}
+        run_sequence_serial(seq, params, oracle)
+        got = {k: v.copy() for k, v in base.items()}
+        run_direct(plan, params, got)
+        for name in names:
+            assert np.allclose(oracle[name], got[name]), name
+
+
+# ---------------------------------------------------------------------------
+# Greedy partitioning invariants
+# ---------------------------------------------------------------------------
+
+
+class TestGreedyLayoutProperty:
+    @given(
+        st.lists(st.integers(8, 200), min_size=1, max_size=10),
+        st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, dims, assoc):
+        cache = CacheConfig(8 * 1024, 64, assoc)
+        arrays = [(f"x{k}", (d, d)) for k, d in enumerate(dims)]
+        res = greedy_memory_layout(arrays, cache)
+        # 1. Every array in a distinct partition index.
+        parts = [a.partition for a in res.assignments]
+        assert len(set(parts)) == len(parts)
+        # 2. Starts map exactly onto the partition targets.
+        for rec in res.assignments:
+            start = res.layout[rec.array].start
+            assert cache.map_address(start) == rec.target_cache_address
+        # 3. No overlap, memory order preserved, gaps bounded by one way.
+        placed = sorted(res.layout.placements, key=lambda p: p.start)
+        for a, b in zip(placed, placed[1:]):
+            assert a.end <= b.start
+        for rec in res.assignments:
+            assert 0 <= rec.gap_bytes < cache.way_bytes
+
+
+# ---------------------------------------------------------------------------
+# DSL round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestRoundtripProperty:
+    @given(chains_1d())
+    @settings(max_examples=30, deadline=None)
+    def test_print_parse_roundtrip(self, chains):
+        seq = build_1d_sequence(chains)
+        printed = format_sequence(seq)
+        reparsed = parse_sequence(printed)
+        assert format_sequence(reparsed) == printed
+        # And the reparsed sequence derives the identical plan.
+        a = derive_shift_peel(seq, ("n",))
+        b = derive_shift_peel(reparsed, ("n",))
+        assert a.dims[0].shifts == b.dims[0].shifts
+        assert a.dims[0].peels == b.dims[0].peels

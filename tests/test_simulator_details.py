@@ -1,0 +1,145 @@
+"""Simulator internals: cost-model components, tile counting, series."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_execution_plan, derive_shift_peel
+from repro.experiments.common import setup_kernel
+from repro.machine import (
+    contiguous_layout,
+    convex_spp1000,
+    ksr2,
+    measure_fused,
+    measure_unfused,
+    speedup_series,
+)
+from repro.machine.simulator import _proc_misses, _tile_count
+
+
+@pytest.fixture(scope="module")
+def small_exp():
+    return setup_kernel("ll18", convex_spp1000(), dims_div=4, params={"n": 63})
+
+
+class TestCostModel:
+    def test_barrier_counts(self, small_exp, fig9_sequence):
+        unf = measure_unfused(
+            small_exp.seq, small_exp.params, small_exp.layout,
+            small_exp.machine, 2,
+        )
+        assert unf.barriers == 3  # one per nest
+        fus = measure_fused(
+            small_exp.exec_plan(2), small_exp.layout, small_exp.machine,
+            strip=small_exp.strip,
+        )
+        assert fus.barriers == 2  # fused + peel
+
+    def test_extra_barriers_add_time(self, small_exp):
+        a = measure_unfused(
+            small_exp.seq, small_exp.params, small_exp.layout,
+            small_exp.machine, 2,
+        )
+        b = measure_unfused(
+            small_exp.seq, small_exp.params, small_exp.layout,
+            small_exp.machine, 2, extra_barriers=10,
+        )
+        expected = 10 * small_exp.machine.barrier_cycles(2)
+        assert b.time_cycles - a.time_cycles == pytest.approx(expected)
+
+    def test_warm_vs_cold(self, small_exp):
+        cold = measure_unfused(
+            small_exp.seq, small_exp.params, small_exp.layout,
+            small_exp.machine, 1, warm=False,
+        )
+        warm = measure_unfused(
+            small_exp.seq, small_exp.params, small_exp.layout,
+            small_exp.machine, 1, warm=True,
+        )
+        # Data far exceeds the cache, so warm ~ cold; but warm never more.
+        assert warm.misses <= cold.misses
+
+    def test_warm_trick_equals_two_pass(self):
+        """warm misses == stateful second-pass misses."""
+        from repro.cachesim import Cache
+
+        machine = convex_spp1000().scaled(64)
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 1 << 18, 20000).astype(np.int64)
+        stats = _proc_misses(trace, machine, warm=True)
+        cache = Cache(machine.cache)
+        cache.access_trace(trace)
+        second = cache.access_trace(trace)
+        assert stats.misses == second.misses
+
+    def test_remote_penalty_applied(self, small_exp):
+        m8 = measure_unfused(
+            small_exp.seq, small_exp.params, small_exp.layout,
+            small_exp.machine, 8,
+        )
+        assert small_exp.machine.miss_penalty(16) > small_exp.machine.miss_penalty(8)
+
+
+class TestTileCount:
+    def test_matches_trace_chunking(self, fig9_sequence):
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 41}, num_procs=2)
+        for proc in ep.processors:
+            count = _tile_count(ep, proc, strip=5)
+            # Position extent per proc is ~20 + shifts; 5-wide tiles.
+            assert 4 <= count <= 6
+
+    def test_zero_when_empty(self, fig9_sequence):
+        import dataclasses
+
+        plan = derive_shift_peel(fig9_sequence, ("n",))
+        ep = build_execution_plan(plan, {"n": 41}, num_procs=2)
+        empty = dataclasses.replace(
+            ep.processors[0],
+            fused=tuple(((1, 0),) for _ in range(3)),
+        )
+        assert _tile_count(ep, empty, strip=4) == 0
+
+
+class TestSpeedupSeries:
+    def test_baseline_normalization(self, small_exp):
+        points = speedup_series(
+            small_exp.exec_plan,
+            small_exp.seq,
+            small_exp.params,
+            small_exp.layout,
+            small_exp.machine,
+            [1, 2],
+            strip=small_exp.strip,
+        )
+        assert points[0].speedup_unfused == pytest.approx(1.0)
+        assert points[1].speedup_unfused > 1.0
+        assert points[0].improvement == pytest.approx(
+            points[0].speedup_fused, rel=1e-9
+        )
+
+    def test_misses_reported(self, small_exp):
+        points = speedup_series(
+            small_exp.exec_plan,
+            small_exp.seq,
+            small_exp.params,
+            small_exp.layout,
+            small_exp.machine,
+            [1],
+            strip=small_exp.strip,
+        )
+        assert points[0].misses_unfused > 0
+        assert points[0].misses_fused > 0
+
+
+class TestMachineComparisons:
+    def test_convex_improvement_exceeds_ksr2(self):
+        """The paper's cross-machine claim at matched configurations."""
+        results = {}
+        for name, machine in (("ksr2", ksr2()), ("convex", convex_spp1000())):
+            exp = setup_kernel("ll18", machine, dims_div=4, params={"n": 127})
+            unf = measure_unfused(exp.seq, exp.params, exp.layout, exp.machine, 1)
+            fus = measure_fused(
+                exp.exec_plan(1), exp.layout, exp.machine, strip=exp.strip
+            )
+            results[name] = unf.time_cycles / fus.time_cycles
+        assert results["convex"] > results["ksr2"] > 1.0

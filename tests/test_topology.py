@@ -1,0 +1,73 @@
+"""Interconnect topology models."""
+
+import pytest
+
+from repro.machine import (
+    HypernodeTopology,
+    RingTopology,
+    apply_topology,
+    convex_cti,
+    convex_spp1000,
+    ksr2,
+    ksr2_ring,
+)
+
+
+class TestRing:
+    def test_single_node(self):
+        assert RingTopology().avg_hops(1) == 0.0
+
+    def test_two_nodes(self):
+        assert RingTopology().avg_hops(2) == 1.0
+
+    @pytest.mark.parametrize("n,expected", [(4, (1 + 2 + 1) / 3), (6, (1 + 2 + 3 + 2 + 1) / 5)])
+    def test_exact_small_rings(self, n, expected):
+        assert RingTopology().avg_hops(n) == pytest.approx(expected)
+
+    def test_grows_linearly(self):
+        ring = RingTopology()
+        assert ring.avg_hops(64) > 2 * ring.avg_hops(16)
+
+    def test_penalty_monotone_in_size(self):
+        ring = ksr2_ring()
+        penalties = [ring.remote_penalty(p) for p in (2, 8, 32, 56)]
+        assert penalties == sorted(penalties)
+
+    def test_calibration_matches_flat_spec(self):
+        """At the paper's 56 processors the derived penalty reproduces the
+        calibrated flat value used by the figures."""
+        derived = ksr2_ring().remote_penalty(56)
+        assert derived == pytest.approx(ksr2().miss_penalty_remote, rel=0.05)
+
+
+class TestHypernode:
+    def test_single_hypernode_flat(self):
+        topo = HypernodeTopology(node_size=8)
+        assert topo.avg_hops(8) == 0.0
+        assert topo.remote_penalty(8) == topo.intra_cycles
+
+    def test_crossing_hypernodes(self):
+        topo = convex_cti()
+        assert topo.num_hypernodes(9) == 2
+        assert topo.remote_penalty(9) == topo.inter_cycles
+
+    def test_matches_spec_penalties(self):
+        spec = convex_spp1000()
+        topo = convex_cti()
+        assert topo.intra_cycles == spec.miss_penalty_local
+        assert topo.inter_cycles == spec.miss_penalty_remote
+
+
+class TestApplyTopology:
+    def test_derived_spec(self):
+        spec = apply_topology(ksr2(), ksr2_ring(), 8)
+        assert spec.miss_penalty_remote < ksr2().miss_penalty_remote
+        assert spec.miss_penalty_local == ksr2().miss_penalty_local
+        assert "RingTopology" in spec.name
+
+    def test_small_machines_pay_less_for_misses(self):
+        """The scalability story: the same kernel's miss cost grows with
+        ring length even at a fixed processor count share."""
+        small = apply_topology(ksr2(), ksr2_ring(), 8)
+        large = apply_topology(ksr2(), ksr2_ring(), 56)
+        assert small.miss_penalty(8) < large.miss_penalty(8)
