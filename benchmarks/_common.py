@@ -9,16 +9,28 @@ stable artifact.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
 
 
+def format_result(result) -> str:
+    """Render a figure/table result for archival.
+
+    Experiment results expose ``.format()``; anything else (plain dicts,
+    strings, numbers from ad-hoc benchmark functions) falls back to
+    ``str`` so archival never crashes the run.
+    """
+    formatter = getattr(result, "format", None)
+    if callable(formatter):
+        return formatter()
+    return str(result)
+
+
 def run_figure(benchmark, fn, name: str, *args, **kwargs):
     """Run ``fn`` once under pytest-benchmark, print and archive output."""
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
-    text = result.format()
+    text = format_result(result)
     OUT_DIR.mkdir(exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}")

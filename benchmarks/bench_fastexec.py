@@ -1,0 +1,87 @@
+"""Wall-clock benchmark of the execution backends -> BENCH_fastexec.json.
+
+Unlike the ``bench_fig*.py`` harnesses (which regenerate the paper's
+simulated figures), this benchmark measures *real* execution time of the
+fused plans through each runtime backend and writes a machine-readable
+artifact so the performance trajectory is tracked PR-over-PR:
+
+    python benchmarks/bench_fastexec.py --smoke --out BENCH_fastexec.json
+    python scripts/check_bench_regression.py --bench BENCH_fastexec.json
+
+``--smoke`` runs the tiny-shape configurations CI uses (a few seconds);
+the default run adds the paper-size jacobi (512 x 512 arrays), whose
+interp-vs-vector ratio is the headline speedup this backend exists for.
+Checksums in the artifact are machine-independent; seconds are not, which
+is why the regression checker rescales them by the recorded calibration.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime.benchmarking import calibrate, measure_kernel  # noqa: E402
+
+# (kernel, n, procs, backends) — smoke tier runs everywhere, full tier adds
+# the paper-size shapes.  n=None keeps the kernel's default parameters.
+SMOKE_CONFIGS = [
+    ("jacobi", 65, 4, ("interp", "vector", "mp")),
+    ("ll18", 65, 4, ("interp", "vector", "mp")),
+    ("filter", 65, 4, ("interp", "vector")),
+    ("calc", 65, 4, ("interp", "vector")),
+    ("jacobi", 255, 4, ("interp", "vector")),
+    ("jacobi", 255, 1, ("vector",)),
+]
+FULL_CONFIGS = [
+    ("jacobi", 511, 4, ("interp", "vector", "mp")),
+    ("ll18", 511, 4, ("vector",)),
+    ("calc", 513, 4, ("vector",)),
+    ("filter", 512, 4, ("vector",)),
+]
+
+
+def run_bench(smoke: bool, repeat: int, verbose: bool = True) -> dict:
+    configs = SMOKE_CONFIGS + ([] if smoke else FULL_CONFIGS)
+    entries = []
+    for kernel, n, procs, backends in configs:
+        for backend in backends:
+            # The interpreter is slow by design; one round is plenty.
+            reps = 1 if backend == "interp" else repeat
+            record = measure_kernel(kernel, backend, n=n, procs=procs,
+                                    repeat=reps)
+            entries.append(record)
+            if verbose:
+                print(f"  {kernel:8s} {backend:6s} n={n:<4d} P={procs} "
+                      f"{record['seconds']:10.6f}s  {record['checksum']}")
+    return {
+        "version": 1,
+        "python": platform.python_version(),
+        "calibration_seconds": round(calibrate(), 6),
+        "entries": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(Path(__file__).parent / "out"
+                                             / "BENCH_fastexec.json"))
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny shapes only (the CI configuration)")
+    parser.add_argument("--repeat", type=int, default=3)
+    args = parser.parse_args(argv)
+    payload = run_bench(smoke=args.smoke, repeat=args.repeat)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(payload['entries'])} entries, "
+          f"calibration {payload['calibration_seconds']}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

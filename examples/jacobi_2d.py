@@ -19,7 +19,7 @@ from repro.machine import (
     measure_unfused,
 )
 from repro.partition import partitioned_layout_from_decls
-from repro.runtime import run_parallel, run_sequence_serial
+from repro.runtime import get_backend, run_parallel, run_sequence_serial
 
 
 def main() -> None:
@@ -48,6 +48,12 @@ def main() -> None:
     run_parallel(plan, fused, interleave="random", strip=4, rng=rng)
     ok = all(np.allclose(oracle[k], fused[k]) for k in base)
     print(f"\n4x4-grid fused execution matches serial oracle: {ok}")
+
+    # The vectorized backend runs the identical plan bit-for-bit.
+    fast = {k: v.copy() for k, v in base.items()}
+    get_backend("vector").run(plan, fast, verify=True)
+    assert all(np.array_equal(fused[k], fast[k]) for k in base)
+    print("vector backend verified bit-identical on the 4x4 plan")
     print(f"peeled iterations (executed after one barrier): "
           f"{plan.total_peeled()} of {plan.total_fused() + plan.total_peeled()}")
 

@@ -18,7 +18,7 @@ from repro.core import (
 from repro.lang import parse_program
 from repro.lang.emit import emit_stripmined
 from repro.machine import convex_spp1000
-from repro.runtime import run_parallel, run_sequence_serial
+from repro.runtime import checksum, get_backend, run_parallel, run_sequence_serial
 
 SOURCE = """
 param n
@@ -63,6 +63,14 @@ def main() -> None:
     print(f"\n4-processor fused execution matches serial oracle: {ok}")
     print(f"  fused iterations: {stats['fused_iterations']}, "
           f"peeled after barrier: {stats['peeled_iterations']}")
+
+    # 3b. The same plan through the fast vectorized backend.  verify=True
+    # cross-checks bit-identically against the interpreter reference.
+    fast = {k: v.copy() for k, v in base.items()}
+    get_backend("vector").run(exec_plan, fast, verify=True)
+    same = all(np.array_equal(fused[k], fast[k]) for k in base)
+    print(f"vector backend bit-identical to interpreter: {same} "
+          f"(checksum {checksum(fast)})")
 
     # 4. Should we fuse?  (Paper Sec. 6: profitability needs data vs cache.)
     machine = convex_spp1000()

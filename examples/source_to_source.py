@@ -10,7 +10,7 @@ Run:  python examples/source_to_source.py
 
 from repro.baselines import derive_alignment
 from repro.cachesim import CacheConfig
-from repro.ir import format_sequence, side_by_side
+from repro.ir import format_sequence
 from repro.lang import parse_program, transform_source
 from repro.partition import partitioned_layout_from_decls
 

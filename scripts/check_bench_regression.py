@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Gate CI on the fastexec benchmark: correctness and performance.
+
+Compares a freshly produced ``BENCH_fastexec.json`` (see
+``benchmarks/bench_fastexec.py``) against the committed baseline and exits
+non-zero when:
+
+* any shared entry's **checksum** differs — the backends are deterministic
+  and IEEE-754 arithmetic is machine-independent, so a checksum change
+  means an execution-semantics change, never noise;
+* a **speedup floor** is violated — the baseline lists required
+  fast-vs-reference ratios (e.g. ``vector`` at least 30x faster than
+  ``interp`` on jacobi).  Both sides of a ratio come from the *uploaded*
+  file, so floors are immune to machine-speed differences;
+* a shared entry shows a **wall-clock slowdown of more than 25 %** (the
+  ``--tolerance``) after rescaling the baseline by the two files'
+  pure-Python calibration ratio.  Entries whose scaled baseline time is
+  below ``--min-seconds`` are checked for checksums only — micro-times are
+  all noise.
+
+CI runs exactly this command; run it locally the same way:
+
+    python benchmarks/bench_fastexec.py --smoke --out BENCH_fastexec.json
+    python scripts/check_bench_regression.py --bench BENCH_fastexec.json
+
+``--update`` rewrites the baseline from the fresh file (preserving the
+floors section) after you have verified an intentional change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO / "benchmarks" / "BENCH_fastexec.json"
+
+
+def _key(entry: dict) -> tuple:
+    return (entry["kernel"], entry["backend"], entry["shape"], entry["procs"])
+
+
+def _index(payload: dict) -> dict[tuple, dict]:
+    return {_key(e): e for e in payload.get("entries", [])}
+
+
+def check(bench: dict, baseline: dict, tolerance: float,
+          min_seconds: float) -> tuple[list[str], list[str]]:
+    """Return (failures, notes)."""
+    failures: list[str] = []
+    notes: list[str] = []
+    fresh = _index(bench)
+    base = _index(baseline)
+
+    shared = sorted(set(fresh) & set(base))
+    if not shared:
+        failures.append("no benchmark entries overlap with the baseline")
+    for key in sorted(set(base) - set(fresh)):
+        notes.append(f"baseline entry not in this run (skipped): {key}")
+    for key in sorted(set(fresh) - set(base)):
+        notes.append(f"new entry without baseline: {key}")
+
+    # 1. Checksums: exact, machine-independent.
+    for key in shared:
+        got, want = fresh[key]["checksum"], base[key]["checksum"]
+        if got != want:
+            failures.append(
+                f"checksum mismatch for {key}: {got} != {want}"
+            )
+
+    # 2. Speedup floors, measured entirely within the fresh file.
+    for floor in baseline.get("floors", []):
+        slow_key = (floor["kernel"], floor["slow"], floor["shape"],
+                    floor["procs"])
+        fast_key = (floor["kernel"], floor["fast"], floor["shape"],
+                    floor["procs"])
+        if slow_key not in fresh or fast_key not in fresh:
+            notes.append(f"floor not measurable in this run (skipped): "
+                         f"{floor['kernel']} {floor['shape']}")
+            continue
+        fast_s = fresh[fast_key]["seconds"]
+        slow_s = fresh[slow_key]["seconds"]
+        speedup = slow_s / fast_s if fast_s > 0 else float("inf")
+        if speedup < floor["min_speedup"]:
+            failures.append(
+                f"speedup floor violated for {floor['kernel']} "
+                f"[{floor['shape']}]: {floor['fast']} is only "
+                f"{speedup:.1f}x faster than {floor['slow']} "
+                f"(required {floor['min_speedup']}x)"
+            )
+        else:
+            notes.append(
+                f"floor ok: {floor['kernel']} [{floor['shape']}] "
+                f"{floor['fast']} {speedup:.0f}x over {floor['slow']} "
+                f"(>= {floor['min_speedup']}x)"
+            )
+
+    # 3. Wall-clock regression, calibration-scaled.
+    base_cal = baseline.get("calibration_seconds") or 0.0
+    fresh_cal = bench.get("calibration_seconds") or 0.0
+    scale = (fresh_cal / base_cal) if base_cal > 0 and fresh_cal > 0 else 1.0
+    notes.append(f"calibration scale {scale:.2f} "
+                 f"(baseline {base_cal}s, this machine {fresh_cal}s)")
+    for key in shared:
+        allowed = base[key]["seconds"] * scale
+        if allowed < min_seconds:
+            continue
+        got = fresh[key]["seconds"]
+        if got > allowed * (1.0 + tolerance):
+            failures.append(
+                f"slowdown for {key}: {got:.4f}s vs allowed "
+                f"{allowed:.4f}s (+{tolerance:.0%})"
+            )
+    return failures, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", required=True,
+                        help="freshly produced BENCH_fastexec.json")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.05,
+                        help="scaled baseline times below this are "
+                             "checksum-checked only")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from --bench")
+    args = parser.parse_args(argv)
+
+    bench_path = Path(args.bench)
+    baseline_path = Path(args.baseline)
+    for path, what in ((bench_path, "bench file"), (baseline_path, "baseline")):
+        if not path.is_file():
+            print(f"error: {what} not found: {path}", file=sys.stderr)
+            return 2
+    bench = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    failures, notes = check(bench, baseline, args.tolerance, args.min_seconds)
+    for note in notes:
+        print(f"note: {note}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+
+    if args.update:
+        if failures:
+            print("refusing to --update while checks fail", file=sys.stderr)
+            return 1
+        bench["floors"] = baseline.get("floors", [])
+        baseline_path.write_text(
+            json.dumps(bench, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"updated {baseline_path}")
+        return 0
+
+    if failures:
+        print(f"{len(failures)} benchmark check(s) failed", file=sys.stderr)
+        return 1
+    print("benchmark checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,10 +29,10 @@ assert and all the performance measurements use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from ..core.derive import DimensionPlan, ShiftPeelPlan
-from ..core.execplan import ExecutionPlan, build_execution_plan
+from ..core.execplan import ExecutionPlan
 from ..dependence.analysis import analyze_sequence
 from ..dependence.model import DepKind
 from ..ir.access import ArrayRef
@@ -220,7 +220,6 @@ def derive_alignment(
     dependence of the (to-be-)fused loop is loop-independent."""
     seq = seq if seq is not None else program.sequences[0]
     seq = canonical_fused_vars(seq, 1)
-    var = seq[0].loop_vars[0]
     params = program.params
 
     # --- choose offsets from flow dependences (BFS in sequence order) ----

@@ -130,7 +130,6 @@ def simulate_2way_lru(addrs: np.ndarray, config: CacheConfig) -> CacheStats:
     keep = np.empty(n, dtype=bool)
     keep[0] = True
     keep[1:] = new_group[1:] | (t[1:] != t[:-1])
-    sc = s[keep]
     tc = t[keep]
     gc = new_group[keep]
     m = tc.size

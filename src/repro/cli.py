@@ -6,13 +6,16 @@ Usage::
     python -m repro transform FILE [--style stripmined|direct|spmd]
     python -m repro analyze FILE
     python -m repro simulate KERNEL [--machine ksr2|convex] [--procs ...]
+    python -m repro exec KERNEL [--backend interp|vector|mp] [--n N]
     python -m repro experiment NAME        # table1, table2, fig18..fig26
     python -m repro list
 
 ``transform`` reads a DSL loop program and writes the fused source;
 ``analyze`` prints the dependence summary, the derived shift/peel plan and
 a legality/profitability report; ``simulate`` runs a kernel on a simulated
-machine; ``experiment`` regenerates one table/figure.
+machine; ``exec`` really executes a kernel through one of the runtime
+backends and reports wall-clock time plus a checksum; ``experiment``
+regenerates one table/figure.
 """
 
 from __future__ import annotations
@@ -41,9 +44,10 @@ from .experiments import (
     table1,
     table2,
 )
-from .kernels import all_kernels, get_kernel
+from .kernels import all_kernels
 from .lang import parse_program, transform_source
 from .machine import convex_spp1000, ksr2
+from .runtime import available_backends
 
 EXPERIMENTS = {
     "table1": table1,
@@ -108,6 +112,34 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         print(f"{point.num_procs:3d} {point.speedup_unfused:9.2f} "
               f"{point.speedup_fused:9.2f} "
               f"{100 * (point.improvement - 1):+11.1f}%")
+    return 0
+
+
+def cmd_exec(args: argparse.Namespace) -> int:
+    """``repro exec``: really run a kernel through a runtime backend."""
+    import json
+
+    from .runtime.benchmarking import measure_kernel
+
+    record = measure_kernel(
+        args.kernel,
+        args.backend,
+        n=args.n,
+        procs=args.procs,
+        strip=args.strip,
+        repeat=args.repeat,
+        verify=args.verify,
+    )
+    print(f"{record['kernel']} [{record['shape']}] on backend "
+          f"{record['backend']} with {record['procs']} processors:")
+    print(f"  {record['seconds']:.6f} s for {record['iterations']} iterations"
+          f"{' (verified against interp)' if args.verify else ''}")
+    print(f"  checksum {record['checksum']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  wrote {args.json}")
     return 0
 
 
@@ -176,6 +208,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=int, default=4,
                    help="linear scale divisor for arrays and caches")
     p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("exec", help="execute a kernel through a backend")
+    p.add_argument("kernel", choices=sorted(k.name for k in all_kernels()))
+    p.add_argument("--backend", default="vector",
+                   choices=available_backends())
+    p.add_argument("--n", type=int, default=None,
+                   help="size parameter value (default: kernel default)")
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--strip", type=int, default=None,
+                   help="strip-mine the fused phase like the interpreter")
+    p.add_argument("--repeat", type=int, default=3,
+                   help="timing repeats (best is reported)")
+    p.add_argument("--verify", action="store_true",
+                   help="cross-check bit-identical against the interpreter "
+                        "(the reported time then includes that check)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the record as JSON")
+    p.set_defaults(fn=cmd_exec)
 
     p = sub.add_parser("experiment", help="regenerate one table/figure")
     p.add_argument("name")

@@ -13,8 +13,8 @@ and concrete per-processor execution (names bound by a prologue).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping, MutableMapping, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Mapping, MutableMapping
 
 import numpy as np
 

@@ -21,7 +21,7 @@ from typing import Mapping, MutableMapping, Sequence
 import numpy as np
 
 from ..core.derive import ShiftPeelPlan
-from ..core.execplan import ExecutionPlan, ProcessorPlan, range_empty
+from ..core.execplan import ExecutionPlan, ProcessorPlan
 from ..ir.expr import Affine, BoundExpr
 from ..ir.loop import LoopNest
 from .cir import (
@@ -112,7 +112,6 @@ def peeled_loops(
 ) -> CodeNode:
     """The post-barrier peeled rectangles for one processor, nests in
     sequence order (Sec. 3.4's dependence-closed grouping)."""
-    ndims = plan.depth
     chunks: list[CodeNode] = []
     for rect in sorted(proc.peeled, key=lambda r: r.nest_idx):
         if rect.is_empty():

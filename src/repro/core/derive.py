@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 
 from ..dependence.analysis import analyze_sequence
 from ..dependence.model import DependenceSummary
-from ..dependence.multigraph import DependenceChainMultigraph, multigraphs_per_dim
+from ..dependence.multigraph import multigraphs_per_dim
 from ..ir.sequence import LoopSequence
 from ..ir.validate import canonical_fused_vars
 from .traversal import traverse_for_peels, traverse_for_shifts

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
-from ..dependence.analysis import analyze_sequence
 from ..ir.sequence import LoopSequence, Program
 from ..ir.validate import validate_sequence
 from .derive import ShiftPeelPlan, derive_shift_peel

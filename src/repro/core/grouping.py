@@ -87,7 +87,6 @@ def group_fusable(
     groups: list[list[int]] = [[0]]
     reasons: list[str] = []
 
-    lead_reason = _compatible_headers(seq[0], seq[0], depth)
     canon = canonical_fused_vars(seq, min(depth, seq.common_depth()))
     fused_vars = canon[0].loop_vars[:depth]
 

@@ -10,19 +10,13 @@ derived.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..ir.loop import LoopNest
 from ..ir.sequence import LoopSequence
 from ..ir.validate import canonical_fused_vars, validate_sequence
-from .model import (
-    Dependence,
-    DependenceSummary,
-    DepKind,
-    NonUniformDependenceError,
-    classify,
-)
-from .solver import DistanceSolution, solve_uniform_distance
+from .model import Dependence, DependenceSummary, NonUniformDependenceError, classify
+from .solver import solve_uniform_distance
 
 
 def _ref_sites(nest: LoopNest):

@@ -10,10 +10,9 @@ reductions preserve the structure of the dependence chains (Sec. 3.3).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
 
-from .model import Dependence, DependenceSummary
+from .model import DependenceSummary
 
 
 @dataclass(frozen=True)

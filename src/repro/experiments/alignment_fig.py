@@ -19,14 +19,12 @@ import numpy as np
 
 from ..baselines.alignment import AlignmentResult, derive_alignment
 from ..core.schedule import BlockSchedule
-from ..ir.sequence import Program
-from ..kernels.base import get_kernel
 from ..machine.memory import MemoryLayout
 from ..machine.simulator import RunMeasurement, _proc_misses, _tile_count
 from ..machine.specs import MachineSpec, convex_spp1000, ksr2
 from ..machine.trace import fused_proc_trace, nest_block_trace
 from ..partition.greedy import greedy_memory_layout
-from .common import choose_strip, format_table, params_for, setup_kernel
+from .common import format_table, setup_kernel
 
 
 def aligned_layout(

@@ -14,14 +14,13 @@ legal (Theorem 1 needs blocks of at least ``Nt`` iterations).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from ..core.fuse import FusionResult, fuse_sequence
 from ..ir.sequence import LoopSequence, Program
 from ..kernels.base import KernelInfo, get_kernel
 from ..machine.memory import MemoryLayout, layout_from_decls
 from ..machine.simulator import (
-    RunMeasurement,
     SpeedupPoint,
     measure_fused,
     measure_unfused,

@@ -16,7 +16,7 @@ from ..core.fuse import fuse_sequence
 from ..lang.emit import emit_spmd
 from ..machine.simulator import measure_fused, measure_unfused
 from ..machine.specs import convex_spp1000
-from .common import format_table, make_layout, params_for, setup_kernel
+from .common import format_table, make_layout, params_for
 from ..kernels.base import get_kernel
 
 

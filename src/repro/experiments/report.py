@@ -10,13 +10,12 @@ glance which paper claims hold.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from .alignment_fig import fig26
-from .app_figs import fig21, fig25
+from .app_figs import fig25
 from .jacobi_fig import fig15_16
 from .kernel_figs import fig22, fig23, fig24
-from .padding_figs import fig18, fig20
+from .padding_figs import fig18
 from .tables import table1, table2
 
 

@@ -9,7 +9,7 @@ parameters, and a ``parallel`` flag (``doall`` vs ``do``).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterator, Mapping, Sequence
 
 from .expr import Affine, as_affine

@@ -7,7 +7,6 @@ source-to-source transformer.
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from .loop import LoopNest
 from .sequence import LoopSequence, Program
@@ -18,7 +17,6 @@ INDENT = "    "
 
 def format_nest(nest: LoopNest, indent: int = 0) -> str:
     lines: list[str] = []
-    pad = INDENT * indent
     for level, lp in enumerate(nest.loops):
         lines.append(f"{INDENT * (indent + level)}{lp}")
     body_pad = INDENT * (indent + nest.depth)

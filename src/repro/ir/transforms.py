@@ -18,7 +18,6 @@ implements the ones useful around fusion:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from ..dependence.solver import solve_uniform_distance

@@ -10,8 +10,8 @@ non-affine subscripts and sequential fused loops are not.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from .loop import LoopNest
 from .sequence import LoopSequence, Program

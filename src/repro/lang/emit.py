@@ -17,7 +17,7 @@ Both return plain text in the same DSL the parser accepts (modulo the
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from ..core.derive import ShiftPeelPlan
 from ..ir.loop import LoopNest

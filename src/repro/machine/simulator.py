@@ -19,7 +19,6 @@ and far fewer barriers — reproducing the crossovers of Figs. 22–25.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 

@@ -10,7 +10,7 @@ quantify the memory overhead against what intra-array padding would cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from ..cachesim.cache import CacheConfig
 from ..ir.sequence import LoopSequence, Program

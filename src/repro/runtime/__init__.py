@@ -1,5 +1,15 @@
-"""Execution: reference interpreter, compiled runner, simulated parallelism."""
+"""Execution: reference interpreter, compiled runner, simulated parallelism,
+and the fast vectorized/multiprocess backends behind the backend registry."""
 
+from .backend import (
+    Backend,
+    BackendMismatch,
+    available_backends,
+    checksum,
+    get_backend,
+    register_backend,
+)
+from .fastexec import FastExecError, exec_box, run_mp, run_vector, vector_dims
 from .interp import (
     CompiledNest,
     compile_nest,
@@ -8,17 +18,35 @@ from .interp import (
     run_sequence_compiled,
     run_sequence_serial,
 )
-from .parallel import fused_work, peeled_work, run_parallel, run_unfused_parallel
+from .parallel import (
+    fused_tile_boxes,
+    fused_work,
+    peeled_work,
+    run_parallel,
+    run_unfused_parallel,
+)
 
 __all__ = [
+    "Backend",
+    "BackendMismatch",
     "CompiledNest",
+    "FastExecError",
+    "available_backends",
+    "checksum",
     "compile_nest",
+    "exec_box",
+    "fused_tile_boxes",
     "fused_work",
+    "get_backend",
     "peeled_work",
+    "register_backend",
+    "run_mp",
     "run_nest",
     "run_parallel",
     "run_program",
     "run_sequence_compiled",
     "run_sequence_serial",
     "run_unfused_parallel",
+    "run_vector",
+    "vector_dims",
 ]

@@ -1,0 +1,140 @@
+"""Execution backend registry.
+
+Every way of executing an :class:`~repro.core.execplan.ExecutionPlan` is a
+named :class:`Backend` with one calling convention, so the CLI, the
+examples and the benchmarks select an executor with a string:
+
+* ``interp`` — the per-iteration generator scheduler of
+  :mod:`repro.runtime.parallel`.  Slow, but the semantic reference: it can
+  interleave the simulated processors adversarially, which is what the
+  correctness suite leans on.
+* ``vector`` — :func:`repro.runtime.fastexec.run_vector`, numpy
+  whole-array execution of the same plan (measured performance).
+* ``mp`` — :func:`repro.runtime.fastexec.run_mp`, one OS process per
+  simulated processor over shared memory with a real barrier.
+
+``Backend.run(..., verify=True)`` cross-checks any fast backend against
+the interpreter on the spot and raises :class:`BackendMismatch` unless the
+results are bit-identical — the same differential check the test suite
+applies on small shapes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, MutableMapping, Optional
+
+import numpy as np
+
+from ..core.execplan import ExecutionPlan
+from .fastexec import run_mp, run_vector
+from .parallel import run_parallel
+
+
+class BackendMismatch(RuntimeError):
+    """A fast backend diverged from the reference interpreter."""
+
+
+Runner = Callable[..., dict]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A named executor for :class:`ExecutionPlan`s."""
+
+    name: str
+    description: str
+    runner: Runner
+    is_reference: bool = False
+
+    def run(
+        self,
+        exec_plan: ExecutionPlan,
+        arrays: MutableMapping[str, np.ndarray],
+        *,
+        strip: Optional[int] = None,
+        interleave: str = "roundrobin",
+        rng: Optional[np.random.Generator] = None,
+        verify: bool = False,
+        **options,
+    ) -> dict:
+        """Execute ``exec_plan`` over ``arrays`` in place and return the
+        executor's counters.  With ``verify=True`` a non-reference backend
+        is re-run through the interpreter on a copy of the inputs and any
+        bitwise difference raises :class:`BackendMismatch`."""
+        oracle = None
+        if verify and not self.is_reference:
+            oracle = {k: v.copy() for k, v in arrays.items()}
+            get_backend("interp").run(
+                exec_plan, oracle, strip=strip, interleave=interleave, rng=rng,
+            )
+        if self.is_reference:
+            stats = self.runner(
+                exec_plan, arrays, interleave=interleave,
+                strip=strip if strip is not None else 4, rng=rng,
+            )
+        else:
+            stats = self.runner(exec_plan, arrays, strip=strip, **options)
+        if oracle is not None:
+            bad = [k for k in arrays if not np.array_equal(arrays[k], oracle[k])]
+            if bad:
+                raise BackendMismatch(
+                    f"backend {self.name!r} diverged from interpreter on "
+                    f"array(s) {', '.join(sorted(bad))}"
+                )
+        return stats
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend) -> Backend:
+    if backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def checksum(arrays: MutableMapping[str, np.ndarray]) -> str:
+    """Deterministic digest of a set of named arrays (name, shape and
+    exact float bits), machine-independent for IEEE-754 arithmetic."""
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()[:16]
+
+
+register_backend(Backend(
+    name="interp",
+    description="per-iteration generator scheduler (semantic reference, "
+                "adversarial interleavings)",
+    runner=run_parallel,
+    is_reference=True,
+))
+register_backend(Backend(
+    name="vector",
+    description="numpy whole-array execution of fused strips and peels",
+    runner=run_vector,
+))
+register_backend(Backend(
+    name="mp",
+    description="one OS process per simulated processor over shared memory",
+    runner=run_mp,
+))

@@ -1,0 +1,162 @@
+"""Wall-clock measurement of execution backends on the paper's kernels.
+
+This is the machinery behind ``python -m repro exec`` and
+``benchmarks/bench_fastexec.py``: build the shift-and-peel plans for every
+sequence of a kernel, allocate seeded arrays, execute them through a named
+backend (:mod:`repro.runtime.backend`) and report seconds, iteration
+counts and a machine-independent checksum.  Records are plain dicts so
+they serialize straight into ``BENCH_fastexec.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..core import build_execution_plan, derive_shift_peel, max_processors
+from ..core.execplan import ExecutionPlan
+from ..ir.sequence import Program
+from ..kernels import get_kernel
+from .backend import checksum, get_backend
+
+
+@dataclass
+class PreparedKernel:
+    """Everything needed to execute one kernel repeatably."""
+
+    name: str
+    program: Program
+    params: dict[str, int]
+    plans: list[ExecutionPlan]
+    procs: int
+    seed: int
+
+    def alloc(self) -> dict[str, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        return {
+            d.name: rng.random(d.concrete_shape(self.params)) + 1.0
+            for d in self.program.arrays
+        }
+
+    @property
+    def shape(self) -> str:
+        return ",".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+
+
+def prepare_kernel(
+    kernel: str,
+    params: Optional[Mapping[str, int]] = None,
+    n: Optional[int] = None,
+    procs: int = 4,
+    seed: int = 7,
+) -> PreparedKernel:
+    """Fuse every sequence of ``kernel`` and build its execution plans.
+
+    ``procs`` is clamped per sequence to the legal maximum (Theorem 1); the
+    reported processor count is the request, each plan carries its own
+    clamped grid.
+    """
+    info = get_kernel(kernel)
+    program = info.program()
+    run_params = dict(info.default_params) or {p: 128 for p in program.params}
+    if params:
+        run_params.update(params)
+    if n is not None:
+        run_params["n"] = n
+        if "m" in run_params:
+            run_params["m"] = n
+    plans = []
+    for seq in program.sequences:
+        plan = derive_shift_peel(seq, tuple(program.params), seq.fusable_depth())
+        legal = max_processors(plan, run_params)[0]
+        plans.append(
+            build_execution_plan(plan, run_params, num_procs=min(procs, legal))
+        )
+    return PreparedKernel(
+        name=kernel, program=program, params=run_params, plans=plans,
+        procs=procs, seed=seed,
+    )
+
+
+def execute_prepared(
+    prep: PreparedKernel,
+    backend: str,
+    strip: Optional[int] = None,
+    verify: bool = False,
+) -> tuple[float, dict[str, int], str]:
+    """One timed execution of all sequences: (seconds, counters, checksum).
+
+    Array allocation happens outside the timed region; the run itself —
+    including any backend setup such as shared-memory creation for ``mp``
+    — is what the clock sees.
+    """
+    be = get_backend(backend)
+    arrays = prep.alloc()
+    totals = {"fused_iterations": 0, "peeled_iterations": 0}
+    t0 = time.perf_counter()
+    for ep in prep.plans:
+        stats = be.run(ep, arrays, strip=strip, verify=verify)
+        for key in totals:
+            totals[key] += stats.get(key, 0)
+    seconds = time.perf_counter() - t0
+    return seconds, totals, checksum(arrays)
+
+
+def measure_kernel(
+    kernel: str,
+    backend: str,
+    params: Optional[Mapping[str, int]] = None,
+    n: Optional[int] = None,
+    procs: int = 4,
+    strip: Optional[int] = None,
+    repeat: int = 3,
+    seed: int = 7,
+    verify: bool = False,
+) -> dict:
+    """Best-of-``repeat`` wall-clock record for one kernel × backend.
+
+    The checksum must be identical across repeats (execution is
+    deterministic); a mismatch raises ``RuntimeError`` immediately.
+    """
+    prep = prepare_kernel(kernel, params=params, n=n, procs=procs, seed=seed)
+    best = None
+    digest = None
+    counters = None
+    for _ in range(max(1, repeat)):
+        seconds, totals, run_digest = execute_prepared(
+            prep, backend, strip=strip, verify=verify
+        )
+        if digest is not None and run_digest != digest:
+            raise RuntimeError(
+                f"{kernel}/{backend}: nondeterministic checksum "
+                f"({digest} vs {run_digest})"
+            )
+        digest = run_digest
+        counters = totals
+        best = seconds if best is None else min(best, seconds)
+    return {
+        "kernel": kernel,
+        "backend": backend,
+        "shape": prep.shape,
+        "procs": procs,
+        "seconds": round(best, 6),
+        "iterations": counters["fused_iterations"] + counters["peeled_iterations"],
+        "checksum": digest,
+    }
+
+
+def calibrate(loops: int = 2_000_000) -> float:
+    """Seconds for a fixed pure-Python workload — a proxy for interpreter
+    speed on this machine.  The regression checker scales committed
+    baseline times by the calibration ratio so wall-clock gates survive a
+    change of hardware."""
+    t0 = time.perf_counter()
+    acc = 0.0
+    for i in range(loops):
+        acc += i * 0.5
+    if acc < 0:  # pragma: no cover - keeps the loop from being optimized out
+        raise AssertionError
+    return time.perf_counter() - t0

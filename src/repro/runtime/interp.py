@@ -9,7 +9,6 @@ large per-iteration speedup (used by the larger randomized tests).
 
 from __future__ import annotations
 
-import itertools
 from typing import Mapping, MutableMapping, Sequence
 
 import numpy as np

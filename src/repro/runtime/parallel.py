@@ -18,20 +18,23 @@ from typing import Iterator, Mapping, MutableMapping, Optional, Sequence
 
 import numpy as np
 
-from ..core.execplan import ExecutionPlan, ProcessorPlan, range_empty
+from ..core.execplan import ExecutionPlan, ProcessorPlan
 from ..ir.loop import LoopNest
 
 
 WorkItem = tuple[int, tuple[int, ...]]  # (nest_idx, iteration vector)
+Box = tuple[tuple[int, int], ...]  # inclusive (lo, hi) per nest dimension
 
 
-def fused_work(
+def fused_tile_boxes(
     proc: ProcessorPlan, plan_depth: int, nests: Sequence[LoopNest],
     shifts, strip: int = 4,
-) -> Iterator[WorkItem]:
-    """Yield the fused-phase iterations of one processor in strip-mined
-    order (paper Fig. 12): position-space tiles in lexicographic order; per
-    tile, nests in sequence order; per nest, iterations lexicographically."""
+) -> Iterator[tuple[int, Box]]:
+    """Yield ``(nest_idx, box)`` for the fused phase of one processor in
+    strip-mined order (paper Fig. 12): position-space tiles in
+    lexicographic order; per tile, nests in sequence order.  Each box is
+    the nest's original-iteration rectangle inside the tile, extended with
+    the full range of the nest's non-fused inner dimensions."""
     ndims = plan_depth
     # Position-space extent of this processor: union over nests of
     # (fused range shifted into position space).
@@ -63,14 +66,25 @@ def fused_work(
                 if hi < lo:
                     empty = True
                     break
-                ranges.append(range(lo, hi + 1))
+                ranges.append((lo, hi))
             if empty:
                 continue
             for d in range(ndims, nest.depth):
                 lo, hi = proc.fused[k][d]
-                ranges.append(range(lo, hi + 1))
-            for ivec in itertools.product(*ranges):
-                yield (k, ivec)
+                ranges.append((lo, hi))
+            yield (k, tuple(ranges))
+
+
+def fused_work(
+    proc: ProcessorPlan, plan_depth: int, nests: Sequence[LoopNest],
+    shifts, strip: int = 4,
+) -> Iterator[WorkItem]:
+    """Yield the fused-phase iterations of one processor in strip-mined
+    order (paper Fig. 12): position-space tiles in lexicographic order; per
+    tile, nests in sequence order; per nest, iterations lexicographically."""
+    for k, box in fused_tile_boxes(proc, plan_depth, nests, shifts, strip):
+        for ivec in itertools.product(*(range(lo, hi + 1) for lo, hi in box)):
+            yield (k, ivec)
 
 
 def peeled_work(proc: ProcessorPlan) -> Iterator[WorkItem]:

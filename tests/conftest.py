@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.ir import Affine, ArrayDecl, Loop, LoopNest, LoopSequence, assign, load
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+from repro.ir import Affine, Loop, LoopNest, assign, load
 from repro.kernels import get_kernel
 from repro.machine import convex_spp1000
 from repro.partition import plan_layout

@@ -1,15 +1,10 @@
 """Baselines: naive fusion partitioner, alignment with replication."""
 
 import numpy as np
-import pytest
 
-from conftest import alloc_1d, arrays_equal, copy_arrays
+from conftest import alloc_1d, copy_arrays
 
-from repro.baselines import (
-    AlignmentError,
-    derive_alignment,
-    naive_fusion_partition,
-)
+from repro.baselines import derive_alignment, naive_fusion_partition
 from repro.ir import (
     Affine,
     ArrayDecl,

@@ -1,0 +1,190 @@
+"""Unit tests for the benchmark plumbing and the CI regression gate."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load(relpath, name):
+    spec = importlib.util.spec_from_file_location(name, REPO / relpath)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_common = _load("benchmarks/_common.py", "bench_common")
+checker = _load("scripts/check_bench_regression.py", "check_bench_regression")
+
+
+class TestFormatResult:
+    def test_uses_format_method(self):
+        class Table:
+            def format(self):
+                return "| a | b |"
+
+        assert bench_common.format_result(Table()) == "| a | b |"
+
+    def test_falls_back_to_str(self):
+        assert bench_common.format_result({"rows": 3}) == "{'rows': 3}"
+        assert bench_common.format_result(1.5) == "1.5"
+        assert bench_common.format_result("already text") == "already text"
+
+    def test_non_callable_format_attribute(self):
+        class Weird:
+            format = "not a method"
+
+            def __str__(self):
+                return "weird"
+
+        assert bench_common.format_result(Weird()) == "weird"
+
+    def test_run_figure_archives_str_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(bench_common, "OUT_DIR", tmp_path)
+
+        class FakeBenchmark:
+            def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+                return fn(*args, **(kwargs or {}))
+
+        result = bench_common.run_figure(
+            FakeBenchmark(), lambda x: {"value": x}, "fake_fig", 42
+        )
+        assert result == {"value": 42}
+        assert (tmp_path / "fake_fig.txt").read_text() == "{'value': 42}\n"
+
+
+def _entry(kernel="jacobi", backend="vector", shape="n=65", procs=4,
+           seconds=0.01, chk="aaaa"):
+    return {"kernel": kernel, "backend": backend, "shape": shape,
+            "procs": procs, "seconds": seconds, "iterations": 100,
+            "checksum": chk}
+
+
+def _payload(entries, calibration=0.1, floors=None):
+    payload = {"version": 1, "python": "3.11.7",
+               "calibration_seconds": calibration, "entries": entries}
+    if floors is not None:
+        payload["floors"] = floors
+    return payload
+
+
+class TestRegressionChecker:
+    def test_clean_pass(self):
+        payload = _payload([_entry()])
+        failures, _ = checker.check(payload, payload, 0.25, 0.05)
+        assert failures == []
+
+    def test_checksum_mismatch_fails(self):
+        base = _payload([_entry(chk="aaaa")])
+        fresh = _payload([_entry(chk="bbbb")])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert len(failures) == 1
+        assert "checksum mismatch" in failures[0]
+
+    def test_slowdown_fails_and_tolerance_respected(self):
+        base = _payload([_entry(seconds=0.10)])
+        ok = _payload([_entry(seconds=0.12)])
+        bad = _payload([_entry(seconds=0.20)])
+        assert checker.check(ok, base, 0.25, 0.05)[0] == []
+        failures, _ = checker.check(bad, base, 0.25, 0.05)
+        assert any("slowdown" in f for f in failures)
+
+    def test_micro_times_checksum_only(self):
+        """Entries under --min-seconds never fail on timing noise."""
+        base = _payload([_entry(seconds=0.001)])
+        fresh = _payload([_entry(seconds=0.04)])  # 40x "slower" but micro
+        assert checker.check(fresh, base, 0.25, 0.05)[0] == []
+
+    def test_calibration_rescales_allowance(self):
+        """A machine measuring 2x slower on pure Python gets 2x budget."""
+        base = _payload([_entry(seconds=0.10)], calibration=0.1)
+        fresh = _payload([_entry(seconds=0.18)], calibration=0.2)
+        assert checker.check(fresh, base, 0.25, 0.05)[0] == []
+        fresh_fast_machine = _payload([_entry(seconds=0.18)], calibration=0.1)
+        failures, _ = checker.check(fresh_fast_machine, base, 0.25, 0.05)
+        assert any("slowdown" in f for f in failures)
+
+    def test_speedup_floor(self):
+        floors = [{"kernel": "jacobi", "shape": "n=65", "procs": 4,
+                   "fast": "vector", "slow": "interp", "min_speedup": 30}]
+        entries_ok = [
+            _entry(backend="interp", seconds=3.0, chk="cccc"),
+            _entry(backend="vector", seconds=0.05, chk="cccc"),
+        ]
+        entries_bad = [
+            _entry(backend="interp", seconds=1.0, chk="cccc"),
+            _entry(backend="vector", seconds=0.05, chk="cccc"),
+        ]
+        base = _payload(entries_ok, floors=floors)
+        assert checker.check(_payload(entries_ok), base, 0.25, 10.0)[0] == []
+        failures, _ = checker.check(_payload(entries_bad), base, 0.25, 10.0)
+        assert any("speedup floor violated" in f for f in failures)
+
+    def test_no_overlap_fails(self):
+        base = _payload([_entry(kernel="jacobi")])
+        fresh = _payload([_entry(kernel="ll18")])
+        failures, notes = checker.check(fresh, base, 0.25, 0.05)
+        assert any("overlap" in f for f in failures)
+        assert any("new entry" in n for n in notes)
+
+    def test_main_update_preserves_floors(self, tmp_path):
+        floors = [{"kernel": "jacobi", "shape": "n=65", "procs": 4,
+                   "fast": "vector", "slow": "interp", "min_speedup": 30}]
+        baseline_path = tmp_path / "baseline.json"
+        bench_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(
+            _payload([_entry(seconds=0.10)], floors=floors)))
+        bench_path.write_text(json.dumps(_payload([_entry(seconds=0.09)])))
+        rc = checker.main(["--bench", str(bench_path),
+                           "--baseline", str(baseline_path), "--update"])
+        assert rc == 0
+        updated = json.loads(baseline_path.read_text())
+        assert updated["floors"] == floors
+        assert updated["entries"][0]["seconds"] == 0.09
+
+    def test_main_refuses_update_on_failure(self, tmp_path, capsys):
+        baseline_path = tmp_path / "baseline.json"
+        bench_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(_payload([_entry(chk="aaaa")])))
+        bench_path.write_text(json.dumps(_payload([_entry(chk="bbbb")])))
+        rc = checker.main(["--bench", str(bench_path),
+                           "--baseline", str(baseline_path), "--update"])
+        assert rc == 1
+        assert json.loads(baseline_path.read_text())["entries"][0][
+            "checksum"] == "aaaa"
+        assert "refusing" in capsys.readouterr().err
+
+    def test_committed_baseline_is_wellformed(self):
+        """The checked-in baseline must parse and carry the headline floor
+        the ISSUE gates on (vector >= 30x interp on jacobi)."""
+        baseline = json.loads(
+            (REPO / "benchmarks" / "BENCH_fastexec.json").read_text())
+        assert baseline["entries"], "baseline has no entries"
+        keys = {checker._key(e) for e in baseline["entries"]}
+        assert len(keys) == len(baseline["entries"]), "duplicate entries"
+        jacobi_floors = [
+            f for f in baseline["floors"]
+            if f["kernel"] == "jacobi" and f["fast"] == "vector"
+            and f["slow"] == "interp" and f["min_speedup"] >= 30
+        ]
+        assert jacobi_floors, "jacobi 30x floor missing"
+        for floor in baseline["floors"]:
+            for side in ("fast", "slow"):
+                key = (floor["kernel"], floor[side], floor["shape"],
+                       floor["procs"])
+                assert key in keys, f"floor references missing entry {key}"
+
+
+@pytest.mark.slow
+class TestBenchSmokeEndToEnd:
+    def test_smoke_run_passes_checker(self, tmp_path):
+        bench = _load("benchmarks/bench_fastexec.py", "bench_fastexec_mod")
+        out = tmp_path / "BENCH_fastexec.json"
+        rc = bench.main(["--smoke", "--repeat", "1", "--out", str(out)])
+        assert rc == 0
+        assert checker.main(["--bench", str(out)]) == 0

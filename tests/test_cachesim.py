@@ -10,7 +10,6 @@ from repro.cachesim import (
     simulate,
     simulate_2way_lru,
     simulate_direct_mapped,
-    simulate_set_associative,
 )
 
 

@@ -8,7 +8,6 @@ from repro.cachesim import (
     MissBreakdown,
     TLBConfig,
     classify_misses,
-    fully_associative_misses,
     simulate_tlb,
 )
 from repro.core import group_fusable

@@ -1,6 +1,5 @@
 """Emission edge cases and multi-sequence program printing."""
 
-import pytest
 
 from repro.core import derive_shift_peel, fuse_sequence
 from repro.ir import (

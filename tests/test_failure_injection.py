@@ -11,7 +11,6 @@ they can reject statically.
 import dataclasses
 
 import numpy as np
-import pytest
 
 from conftest import alloc_1d, arrays_equal, copy_arrays
 
@@ -167,7 +166,6 @@ class TestHarnessEdgeCases:
         from repro.ir import Affine, Loop, LoopNest, assign, load
 
         i = Affine.var("i")
-        n = Affine.var("n")
         l1 = LoopNest((Loop.make("i", 5, 5),), (assign("a", i, load("b", i)),))
         l2 = LoopNest((Loop.make("i", 5, 5),), (assign("c", i, load("a", i)),))
         seq = LoopSequence((l1, l2))

@@ -7,11 +7,8 @@ from repro.ir import (
     Affine,
     ArrayDecl,
     ArrayRef,
-    Assign,
     Loop,
     LoopNest,
-    LoopSequence,
-    Program,
     assign,
     compatible,
     format_nest,

@@ -5,7 +5,7 @@ import pytest
 from repro.core import fuse_sequence
 from repro.ir import validate_program
 from repro.kernels import all_kernels, get_kernel
-from repro.kernels.base import KernelInfo, register
+from repro.kernels.base import register
 
 
 class TestRegistry:

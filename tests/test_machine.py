@@ -1,6 +1,5 @@
 """Memory layouts, machine specs, trace generation, timing simulation."""
 
-import numpy as np
 import pytest
 
 from repro.core import build_execution_plan, derive_shift_peel

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cachesim import CacheConfig, simulate
-from repro.ir import Affine, ArrayRef, Loop, LoopNest
+from repro.ir import Affine, Loop, LoopNest
 from repro.ir.stmt import assign, load
 from repro.partition import (
     analyze_compatibility,

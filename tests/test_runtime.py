@@ -23,7 +23,6 @@ SIZE = 34
 class TestInterpreter:
     def test_serial_matches_manual(self, fig9_sequence):
         arrays = alloc_1d("abcd", SIZE)
-        expected_c = np.empty(SIZE)
         run_sequence_serial(fig9_sequence, PARAMS, arrays)
         b = arrays["b"]
         for idx in range(2, 33):

@@ -6,7 +6,6 @@ import pytest
 from repro.core import build_execution_plan, derive_shift_peel
 from repro.experiments.common import setup_kernel
 from repro.machine import (
-    contiguous_layout,
     convex_spp1000,
     ksr2,
     measure_fused,
@@ -72,7 +71,7 @@ class TestCostModel:
         assert stats.misses == second.misses
 
     def test_remote_penalty_applied(self, small_exp):
-        m8 = measure_unfused(
+        measure_unfused(
             small_exp.seq, small_exp.params, small_exp.layout,
             small_exp.machine, 8,
         )

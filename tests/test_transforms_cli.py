@@ -1,6 +1,5 @@
 """Loop transformations (distribution, interchange, strip-mine) and CLI."""
 
-import numpy as np
 import pytest
 
 from conftest import alloc_2d, arrays_equal, copy_arrays
