@@ -19,35 +19,59 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
+import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.runtime.benchmarking import calibrate, measure_kernel  # noqa: E402
+from repro.runtime.plancache import (  # noqa: E402
+    ENV_CACHE_DIR,
+    reset_default_cache,
+)
 
 # (kernel, n, procs, backends) — smoke tier runs everywhere, full tier adds
 # the paper-size shapes.  n=None keeps the kernel's default parameters.
 SMOKE_CONFIGS = [
-    ("jacobi", 65, 4, ("interp", "vector", "mp")),
-    ("ll18", 65, 4, ("interp", "vector", "mp")),
-    ("filter", 65, 4, ("interp", "vector")),
-    ("calc", 65, 4, ("interp", "vector")),
-    ("jacobi", 255, 4, ("interp", "vector")),
-    ("jacobi", 255, 1, ("vector",)),
+    ("jacobi", 65, 4, ("interp", "vector", "mp", "jit")),
+    ("ll18", 65, 4, ("interp", "vector", "mp", "jit")),
+    ("filter", 65, 4, ("interp", "vector", "jit")),
+    ("calc", 65, 4, ("interp", "vector", "jit")),
+    ("jacobi", 255, 4, ("interp", "vector", "jit")),
+    ("jacobi", 255, 1, ("vector", "jit")),
 ]
 FULL_CONFIGS = [
-    ("jacobi", 511, 4, ("interp", "vector", "mp")),
-    ("ll18", 511, 4, ("vector",)),
-    ("calc", 513, 4, ("vector",)),
-    ("filter", 512, 4, ("vector",)),
+    ("jacobi", 511, 4, ("interp", "vector", "mp", "jit")),
+    ("ll18", 511, 4, ("vector", "jit")),
+    ("calc", 513, 4, ("vector", "jit")),
+    ("filter", 512, 4, ("vector", "jit")),
 ]
 
 
 def run_bench(smoke: bool, repeat: int, verbose: bool = True) -> dict:
     configs = SMOKE_CONFIGS + ([] if smoke else FULL_CONFIGS)
     entries = []
+    # A fresh, private jit cache so every run measures a true cold first
+    # compile — a warm leftover from yesterday would fake cold_seconds.
+    cache_dir = tempfile.TemporaryDirectory(prefix="repro-bench-jit-")
+    saved_env = os.environ.get(ENV_CACHE_DIR)
+    os.environ[ENV_CACHE_DIR] = cache_dir.name
+    reset_default_cache()
+    try:
+        return _run_configs(configs, repeat, verbose, entries)
+    finally:
+        if saved_env is None:
+            os.environ.pop(ENV_CACHE_DIR, None)
+        else:
+            os.environ[ENV_CACHE_DIR] = saved_env
+        reset_default_cache()
+        cache_dir.cleanup()
+
+
+def _run_configs(configs, repeat: int, verbose: bool, entries: list) -> dict:
     for kernel, n, procs, backends in configs:
         for backend in backends:
             # The interpreter is slow by design; one round is plenty.
@@ -57,9 +81,12 @@ def run_bench(smoke: bool, repeat: int, verbose: bool = True) -> dict:
             entries.append(record)
             if verbose:
                 print(f"  {kernel:8s} {backend:6s} n={n:<4d} P={procs} "
-                      f"{record['seconds']:10.6f}s  {record['checksum']}")
+                      f"{record['seconds']:10.6f}s  "
+                      f"cold {record['cold_seconds']:.6f}s "
+                      f"warm {record['warm_seconds']:.6f}s  "
+                      f"{record['checksum']}")
     return {
-        "version": 1,
+        "version": 2,
         "python": platform.python_version(),
         "calibration_seconds": round(calibrate(), 6),
         "entries": entries,

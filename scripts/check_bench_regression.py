@@ -12,11 +12,25 @@ non-zero when:
   fast-vs-reference ratios (e.g. ``vector`` at least 30x faster than
   ``interp`` on jacobi).  Both sides of a ratio come from the *uploaded*
   file, so floors are immune to machine-speed differences;
+* a **geomean floor** is violated — the baseline can require that one
+  backend beat another by a factor *in geometric mean across every kernel
+  they share* (e.g. warm ``jit`` at least 1.3x faster than ``vector`` on
+  ``warm_seconds``).  Again both sides come from the fresh file;
 * a shared entry shows a **wall-clock slowdown of more than 25 %** (the
   ``--tolerance``) after rescaling the baseline by the two files'
   pure-Python calibration ratio.  Entries whose scaled baseline time is
   below ``--min-seconds`` are checked for checksums only — micro-times are
   all noise.
+
+Every failing entry is reported (the checker never stops at the first),
+and the exit code tells CI *what kind* of failure happened:
+
+* 0 — all checks passed
+* 1 — structural problem (no overlapping entries, or refusing --update)
+* 2 — bench/baseline file missing
+* 3 — checksum (correctness) failures only
+* 4 — performance failures only (floors, geomeans, slowdowns)
+* 5 — both checksum and performance failures
 
 CI runs exactly this command; run it locally the same way:
 
@@ -24,18 +38,28 @@ CI runs exactly this command; run it locally the same way:
     python scripts/check_bench_regression.py --bench BENCH_fastexec.json
 
 ``--update`` rewrites the baseline from the fresh file (preserving the
-floors section) after you have verified an intentional change.
+floors sections) after you have verified an intentional change.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO / "benchmarks" / "BENCH_fastexec.json"
+
+EXIT_OK = 0
+EXIT_STRUCTURE = 1
+EXIT_MISSING = 2
+EXIT_CHECKSUM = 3
+EXIT_PERF = 4
+EXIT_BOTH = 5
+
+CATEGORIES = ("structure", "checksum", "perf")
 
 
 def _key(entry: dict) -> tuple:
@@ -47,16 +71,24 @@ def _index(payload: dict) -> dict[tuple, dict]:
 
 
 def check(bench: dict, baseline: dict, tolerance: float,
-          min_seconds: float) -> tuple[list[str], list[str]]:
-    """Return (failures, notes)."""
-    failures: list[str] = []
+          min_seconds: float) -> tuple[dict[str, list[str]], list[str]]:
+    """Return (failures by category, notes).
+
+    Categories are ``structure`` (the comparison itself is impossible),
+    ``checksum`` (correctness) and ``perf`` (floors, geomean floors and
+    calibration-scaled slowdowns).  All failing entries are collected —
+    one bad checksum never hides the next.
+    """
+    failures: dict[str, list[str]] = {cat: [] for cat in CATEGORIES}
     notes: list[str] = []
     fresh = _index(bench)
     base = _index(baseline)
 
     shared = sorted(set(fresh) & set(base))
     if not shared:
-        failures.append("no benchmark entries overlap with the baseline")
+        failures["structure"].append(
+            "no benchmark entries overlap with the baseline"
+        )
     for key in sorted(set(base) - set(fresh)):
         notes.append(f"baseline entry not in this run (skipped): {key}")
     for key in sorted(set(fresh) - set(base)):
@@ -66,7 +98,7 @@ def check(bench: dict, baseline: dict, tolerance: float,
     for key in shared:
         got, want = fresh[key]["checksum"], base[key]["checksum"]
         if got != want:
-            failures.append(
+            failures["checksum"].append(
                 f"checksum mismatch for {key}: {got} != {want}"
             )
 
@@ -84,7 +116,7 @@ def check(bench: dict, baseline: dict, tolerance: float,
         slow_s = fresh[slow_key]["seconds"]
         speedup = slow_s / fast_s if fast_s > 0 else float("inf")
         if speedup < floor["min_speedup"]:
-            failures.append(
+            failures["perf"].append(
                 f"speedup floor violated for {floor['kernel']} "
                 f"[{floor['shape']}]: {floor['fast']} is only "
                 f"{speedup:.1f}x faster than {floor['slow']} "
@@ -97,7 +129,46 @@ def check(bench: dict, baseline: dict, tolerance: float,
                 f"(>= {floor['min_speedup']}x)"
             )
 
-    # 3. Wall-clock regression, calibration-scaled.
+    # 3. Geomean floors: one backend must beat another across the board.
+    for floor in baseline.get("geomean_floors", []):
+        metric = floor.get("metric", "seconds")
+        ratios = []
+        for key in fresh:
+            kernel, backend, shape, procs = key
+            if backend != floor["fast"]:
+                continue
+            slow_key = (kernel, floor["slow"], shape, procs)
+            if slow_key not in fresh:
+                continue
+            fast_v = fresh[key].get(metric)
+            slow_v = fresh[slow_key].get(metric)
+            if not fast_v or not slow_v:
+                notes.append(f"geomean pair lacks {metric!r} (skipped): "
+                             f"{kernel} [{shape}]")
+                continue
+            ratios.append(slow_v / fast_v)
+        if not ratios:
+            notes.append(
+                f"geomean floor not measurable in this run (skipped): "
+                f"{floor['fast']} vs {floor['slow']} on {metric}"
+            )
+            continue
+        geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+        if geomean < floor["min_speedup"]:
+            failures["perf"].append(
+                f"geomean floor violated: {floor['fast']} is only "
+                f"{geomean:.2f}x faster than {floor['slow']} on {metric} "
+                f"across {len(ratios)} kernels "
+                f"(required {floor['min_speedup']}x)"
+            )
+        else:
+            notes.append(
+                f"geomean ok: {floor['fast']} {geomean:.2f}x over "
+                f"{floor['slow']} on {metric} across {len(ratios)} kernels "
+                f"(>= {floor['min_speedup']}x)"
+            )
+
+    # 4. Wall-clock regression, calibration-scaled.
     base_cal = baseline.get("calibration_seconds") or 0.0
     fresh_cal = bench.get("calibration_seconds") or 0.0
     scale = (fresh_cal / base_cal) if base_cal > 0 and fresh_cal > 0 else 1.0
@@ -109,11 +180,26 @@ def check(bench: dict, baseline: dict, tolerance: float,
             continue
         got = fresh[key]["seconds"]
         if got > allowed * (1.0 + tolerance):
-            failures.append(
+            failures["perf"].append(
                 f"slowdown for {key}: {got:.4f}s vs allowed "
                 f"{allowed:.4f}s (+{tolerance:.0%})"
             )
     return failures, notes
+
+
+def exit_code(failures: dict[str, list[str]]) -> int:
+    """Map categorized failures to the documented exit code."""
+    if failures.get("structure"):
+        return EXIT_STRUCTURE
+    bad_sum = bool(failures.get("checksum"))
+    bad_perf = bool(failures.get("perf"))
+    if bad_sum and bad_perf:
+        return EXIT_BOTH
+    if bad_sum:
+        return EXIT_CHECKSUM
+    if bad_perf:
+        return EXIT_PERF
+    return EXIT_OK
 
 
 def main(argv=None) -> int:
@@ -135,32 +221,41 @@ def main(argv=None) -> int:
     for path, what in ((bench_path, "bench file"), (baseline_path, "baseline")):
         if not path.is_file():
             print(f"error: {what} not found: {path}", file=sys.stderr)
-            return 2
+            return EXIT_MISSING
     bench = json.loads(bench_path.read_text())
     baseline = json.loads(baseline_path.read_text())
 
     failures, notes = check(bench, baseline, args.tolerance, args.min_seconds)
     for note in notes:
         print(f"note: {note}")
-    for failure in failures:
-        print(f"FAIL: {failure}", file=sys.stderr)
+    total = 0
+    for cat in CATEGORIES:
+        for failure in failures[cat]:
+            print(f"FAIL[{cat}]: {failure}", file=sys.stderr)
+            total += 1
 
     if args.update:
-        if failures:
+        if total:
             print("refusing to --update while checks fail", file=sys.stderr)
-            return 1
+            return EXIT_STRUCTURE
         bench["floors"] = baseline.get("floors", [])
+        bench["geomean_floors"] = baseline.get("geomean_floors", [])
         baseline_path.write_text(
             json.dumps(bench, indent=2, sort_keys=True) + "\n"
         )
         print(f"updated {baseline_path}")
-        return 0
+        return EXIT_OK
 
-    if failures:
-        print(f"{len(failures)} benchmark check(s) failed", file=sys.stderr)
-        return 1
+    if total:
+        print(f"{total} benchmark check(s) failed "
+              f"(exit {exit_code(failures)}: "
+              f"{sum(1 for _ in failures['checksum'])} checksum, "
+              f"{sum(1 for _ in failures['perf'])} perf, "
+              f"{sum(1 for _ in failures['structure'])} structural)",
+              file=sys.stderr)
+        return exit_code(failures)
     print("benchmark checks passed")
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -6,7 +6,7 @@ Usage::
     python -m repro transform FILE [--style stripmined|direct|spmd]
     python -m repro analyze FILE
     python -m repro simulate KERNEL [--machine ksr2|convex] [--procs ...]
-    python -m repro exec KERNEL [--backend interp|vector|mp] [--n N]
+    python -m repro exec KERNEL [--backend interp|vector|mp|jit] [--n N]
     python -m repro experiment NAME        # table1, table2, fig18..fig26
     python -m repro list
 
@@ -129,11 +129,22 @@ def cmd_exec(args: argparse.Namespace) -> int:
         strip=args.strip,
         repeat=args.repeat,
         verify=args.verify,
+        use_cache=not args.no_cache,
     )
     print(f"{record['kernel']} [{record['shape']}] on backend "
           f"{record['backend']} with {record['procs']} processors:")
     print(f"  {record['seconds']:.6f} s for {record['iterations']} iterations"
           f"{' (verified against interp)' if args.verify else ''}")
+    print(f"  cold {record['cold_seconds']:.6f} s "
+          f"(plan {record['plan_seconds']:.6f} s, "
+          f"compile {record['compile_seconds']:.6f} s), "
+          f"warm {record['warm_seconds']:.6f} s")
+    if "cache" in record:
+        cache = record["cache"]
+        print(f"  plan cache: {cache.get('memory_hits', 0)} memory hits, "
+              f"{cache.get('disk_hits', 0)} disk hits, "
+              f"{cache.get('misses', 0)} misses, "
+              f"{cache.get('alias_hits', 0)} alias hits")
     print(f"  checksum {record['checksum']}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -223,6 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify", action="store_true",
                    help="cross-check bit-identical against the interpreter "
                         "(the reported time then includes that check)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the jit plan cache (recompile from scratch, "
+                        "touch no cache files); no effect on other backends")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the record as JSON")
     p.set_defaults(fn=cmd_exec)

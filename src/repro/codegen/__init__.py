@@ -1,4 +1,5 @@
-"""Executable code generation: CIR nodes, strip-mined SPMD, direct method."""
+"""Executable code generation: CIR nodes, strip-mined SPMD, direct method,
+and the numpy-source jit emitter behind the ``jit`` backend."""
 
 from .cir import (
     CodeBarrier,
@@ -14,6 +15,15 @@ from .cir import (
     run_code,
 )
 from .direct import direct_fused_code, run_direct
+from .emitpy import (
+    CODEGEN_VERSION,
+    JitCompileError,
+    JitEmitError,
+    JitModule,
+    compile_plan,
+    compile_source,
+    emit_plan_source,
+)
 from .stripmine import (
     SpmdProcessorCode,
     fused_block_code,
@@ -24,6 +34,7 @@ from .stripmine import (
 )
 
 __all__ = [
+    "CODEGEN_VERSION",
     "CodeBarrier",
     "CodeBlock",
     "CodeFor",
@@ -32,9 +43,15 @@ __all__ = [
     "CodeNode",
     "CodeStmt",
     "Compare",
+    "JitCompileError",
+    "JitEmitError",
+    "JitModule",
     "SpmdProcessorCode",
     "block",
+    "compile_plan",
+    "compile_source",
     "direct_fused_code",
+    "emit_plan_source",
     "fused_block_code",
     "fused_tile_loops",
     "loop",

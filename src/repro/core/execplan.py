@@ -17,6 +17,7 @@ every backward dependence of distance ``-s`` loop-independent.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional, Sequence
@@ -104,6 +105,48 @@ class ExecutionPlan:
             for p in self.processors
             for k in range(self.plan.num_nests)
         )
+
+    def signature(self, strip: Optional[int] = None) -> str:
+        """Structural sha256 of everything execution depends on.
+
+        Two plans share a signature exactly when they execute identically:
+        the kernel IR (loop bounds, ``doall`` flags, statement bodies), the
+        bound parameters, the derived shifts/peels, the processor grid and
+        every processor's concrete fused boxes and peeled rectangles, plus
+        the ``strip`` setting.  This is the key of the jit plan cache
+        (:mod:`repro.runtime.plancache`): a cache hit replays generated
+        code, so any structural difference — including hand-mutated
+        processor boxes, as the degenerate-range tests build — must change
+        the digest.
+        """
+        digest = hashlib.sha256()
+
+        def feed(text: str) -> None:
+            digest.update(text.encode())
+            digest.update(b"\x1f")
+
+        feed("repro-plan-signature-v1")
+        plan = self.plan
+        for k, nest in enumerate(plan.seq):
+            feed(f"nest {k}")
+            for lp in nest.loops:
+                feed(f"loop {lp.var} {lp.lower} {lp.upper} {int(lp.parallel)}")
+            for st in nest.body:
+                feed(f"stmt {st}")
+        feed(f"depth {plan.depth}")
+        for dim in plan.dims:
+            feed(f"dim {dim.var} shifts={dim.shifts} peels={dim.peels}")
+        for name, value in sorted(self.params.items()):
+            feed(f"param {name}={value}")
+        feed(f"grid {self.grid.grid_shape}")
+        for proc in self.processors:
+            feed(f"proc {proc.coord} block={proc.block}")
+            for box in proc.fused:
+                feed(f"fused {box}")
+            for rect in proc.peeled:
+                feed(f"peel {rect.nest_idx} {rect.ranges}")
+        feed(f"strip {strip}")
+        return digest.hexdigest()
 
 
 def _nest_bounds(plan: ShiftPeelPlan, params, nest_idx: int, dim: int) -> Range:

@@ -8,6 +8,7 @@ from .backend import (
     checksum,
     get_backend,
     register_backend,
+    run_jit,
 )
 from .fastexec import FastExecError, exec_box, run_mp, run_vector, vector_dims
 from .interp import (
@@ -25,21 +26,34 @@ from .parallel import (
     run_parallel,
     run_unfused_parallel,
 )
+from .plancache import (
+    CacheStats,
+    PlanCache,
+    default_cache,
+    program_signature,
+    reset_default_cache,
+)
 
 __all__ = [
     "Backend",
     "BackendMismatch",
+    "CacheStats",
     "CompiledNest",
     "FastExecError",
+    "PlanCache",
     "available_backends",
     "checksum",
     "compile_nest",
+    "default_cache",
     "exec_box",
     "fused_tile_boxes",
     "fused_work",
     "get_backend",
     "peeled_work",
+    "program_signature",
     "register_backend",
+    "reset_default_cache",
+    "run_jit",
     "run_mp",
     "run_nest",
     "run_parallel",

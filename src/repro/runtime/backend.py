@@ -12,6 +12,10 @@ examples and the benchmarks select an executor with a string:
   whole-array execution of the same plan (measured performance).
 * ``mp`` — :func:`repro.runtime.fastexec.run_mp`, one OS process per
   simulated processor over shared memory with a real barrier.
+* ``jit`` — :func:`run_jit`, the plan lowered once to literal numpy
+  source (:mod:`repro.codegen.emitpy`), compiled and memoized through the
+  two-level plan cache (:mod:`repro.runtime.plancache`), then executed as
+  straight-line compiled code on every call.
 
 ``Backend.run(..., verify=True)`` cross-checks any fast backend against
 the interpreter on the spot and raises :class:`BackendMismatch` unless the
@@ -121,6 +125,33 @@ def checksum(arrays: MutableMapping[str, np.ndarray]) -> str:
     return digest.hexdigest()[:16]
 
 
+def run_jit(
+    exec_plan: ExecutionPlan,
+    arrays: MutableMapping[str, np.ndarray],
+    strip: Optional[int] = None,
+    no_cache: bool = False,
+    cache=None,
+) -> dict:
+    """Execute ``exec_plan`` through generated-and-compiled numpy code.
+
+    The first call for a given plan structure emits and compiles a module
+    (cached in memory and on disk keyed by the plan signature); later
+    calls — in this process or any other — replay the compiled module
+    directly.  ``no_cache=True`` recompiles from scratch and touches no
+    cache, which is the honest way to measure cold cost."""
+    if no_cache:
+        from ..codegen.emitpy import compile_plan
+
+        module = compile_plan(exec_plan, strip=strip)
+    else:
+        if cache is None:
+            from .plancache import default_cache
+
+            cache = default_cache()
+        module = cache.get(exec_plan, strip=strip)
+    return module.run(arrays)
+
+
 register_backend(Backend(
     name="interp",
     description="per-iteration generator scheduler (semantic reference, "
@@ -137,4 +168,10 @@ register_backend(Backend(
     name="mp",
     description="one OS process per simulated processor over shared memory",
     runner=run_mp,
+))
+register_backend(Backend(
+    name="jit",
+    description="plan compiled once to numpy source (plan-signature cached "
+                "in memory and on disk), executed many times",
+    runner=run_jit,
 ))

@@ -11,7 +11,7 @@ they serialize straight into ``BENCH_fastexec.json``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 import numpy as np
@@ -21,11 +21,35 @@ from ..core.execplan import ExecutionPlan
 from ..ir.sequence import Program
 from ..kernels import get_kernel
 from .backend import checksum, get_backend
+from .plancache import default_cache, program_signature
+
+
+def resolve_params(
+    info,
+    program: Program,
+    params: Optional[Mapping[str, int]] = None,
+    n: Optional[int] = None,
+) -> dict[str, int]:
+    """The concrete parameter binding a kernel runs at."""
+    run_params = dict(info.default_params) or {p: 128 for p in program.params}
+    if params:
+        run_params.update(params)
+    if n is not None:
+        run_params["n"] = n
+        if "m" in run_params:
+            run_params["m"] = n
+    return run_params
 
 
 @dataclass
 class PreparedKernel:
-    """Everything needed to execute one kernel repeatably."""
+    """Everything needed to execute one kernel repeatably.
+
+    For the jit backend with a warm program alias, ``modules`` holds the
+    compiled plan modules and ``plans`` stays empty — planning was skipped
+    entirely.  ``plan_seconds``/``compile_seconds`` record what preparation
+    actually cost so callers can report overhead honestly.
+    """
 
     name: str
     program: Program
@@ -33,6 +57,10 @@ class PreparedKernel:
     plans: list[ExecutionPlan]
     procs: int
     seed: int
+    modules: Optional[list] = None
+    plan_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    cache_stats: dict = field(default_factory=dict)
 
     def alloc(self) -> dict[str, np.ndarray]:
         rng = np.random.default_rng(self.seed)
@@ -52,22 +80,42 @@ def prepare_kernel(
     n: Optional[int] = None,
     procs: int = 4,
     seed: int = 7,
+    backend: Optional[str] = None,
+    strip: Optional[int] = None,
+    use_cache: bool = True,
+    need_plans: bool = False,
 ) -> PreparedKernel:
     """Fuse every sequence of ``kernel`` and build its execution plans.
 
     ``procs`` is clamped per sequence to the legal maximum (Theorem 1); the
     reported processor count is the request, each plan carries its own
     clamped grid.
+
+    For ``backend='jit'`` with ``use_cache=True`` the plan cache is
+    consulted first: a warm program alias (same kernel IR, params, procs
+    and strip) yields the compiled modules without running the
+    analysis → derive → fuse → plan pipeline at all.  ``need_plans=True``
+    forces planning regardless (``verify`` needs the plans for the
+    interpreter oracle).
     """
     info = get_kernel(kernel)
     program = info.program()
-    run_params = dict(info.default_params) or {p: 128 for p in program.params}
-    if params:
-        run_params.update(params)
-    if n is not None:
-        run_params["n"] = n
-        if "m" in run_params:
-            run_params["m"] = n
+    run_params = resolve_params(info, program, params=params, n=n)
+    jit_cached = backend == "jit" and use_cache
+    cache = default_cache() if jit_cached else None
+    alias_key = None
+    if jit_cached:
+        alias_key = program_signature(program, run_params, procs, strip)
+        if not need_plans:
+            before = cache.stats.snapshot()
+            modules = cache.lookup_alias(alias_key)
+            if modules is not None:
+                return PreparedKernel(
+                    name=kernel, program=program, params=run_params,
+                    plans=[], procs=procs, seed=seed, modules=modules,
+                    cache_stats=cache.stats.delta(before),
+                )
+    t0 = time.perf_counter()
     plans = []
     for seq in program.sequences:
         plan = derive_shift_peel(seq, tuple(program.params), seq.fusable_depth())
@@ -75,9 +123,21 @@ def prepare_kernel(
         plans.append(
             build_execution_plan(plan, run_params, num_procs=min(procs, legal))
         )
+    plan_seconds = time.perf_counter() - t0
+    modules = None
+    compile_seconds = 0.0
+    cache_stats: dict = {}
+    if jit_cached:
+        before = cache.stats.snapshot()
+        modules = [cache.get(ep, strip=strip) for ep in plans]
+        cache.link_alias(alias_key, [m.signature for m in modules])
+        cache_stats = cache.stats.delta(before)
+        compile_seconds = cache_stats.get("compile_seconds", 0.0)
     return PreparedKernel(
         name=kernel, program=program, params=run_params, plans=plans,
-        procs=procs, seed=seed,
+        procs=procs, seed=seed, modules=modules,
+        plan_seconds=plan_seconds, compile_seconds=compile_seconds,
+        cache_stats=cache_stats,
     )
 
 
@@ -86,19 +146,31 @@ def execute_prepared(
     backend: str,
     strip: Optional[int] = None,
     verify: bool = False,
+    no_cache: bool = False,
 ) -> tuple[float, dict[str, int], str]:
     """One timed execution of all sequences: (seconds, counters, checksum).
 
     Array allocation happens outside the timed region; the run itself —
     including any backend setup such as shared-memory creation for ``mp``
-    — is what the clock sees.
+    — is what the clock sees.  When ``prep`` carries precompiled jit
+    modules (and no interpreter verification is requested) they run
+    directly; otherwise execution goes through the backend registry.
     """
-    be = get_backend(backend)
     arrays = prep.alloc()
     totals = {"fused_iterations": 0, "peeled_iterations": 0}
+    if prep.modules is not None and not verify:
+        t0 = time.perf_counter()
+        for module in prep.modules:
+            stats = module.run(arrays)
+            for key in totals:
+                totals[key] += stats.get(key, 0)
+        seconds = time.perf_counter() - t0
+        return seconds, totals, checksum(arrays)
+    be = get_backend(backend)
+    options = {"no_cache": True} if backend == "jit" and no_cache else {}
     t0 = time.perf_counter()
     for ep in prep.plans:
-        stats = be.run(ep, arrays, strip=strip, verify=verify)
+        stats = be.run(ep, arrays, strip=strip, verify=verify, **options)
         for key in totals:
             totals[key] += stats.get(key, 0)
     seconds = time.perf_counter() - t0
@@ -115,19 +187,36 @@ def measure_kernel(
     repeat: int = 3,
     seed: int = 7,
     verify: bool = False,
+    use_cache: bool = True,
 ) -> dict:
     """Best-of-``repeat`` wall-clock record for one kernel × backend.
 
     The checksum must be identical across repeats (execution is
     deterministic); a mismatch raises ``RuntimeError`` immediately.
+
+    Besides the headline ``seconds`` (best run), the record separates the
+    cost phases the jit cache is designed to amortize: ``plan_seconds``
+    (the analysis → derive → fuse → plan pipeline; 0 on a warm program
+    alias), ``compile_seconds`` (source emission + ``compile()``; 0 on any
+    cache hit), ``cold_seconds`` (plan + compile + first run) and
+    ``warm_seconds`` (best run after the first).  ``use_cache=False``
+    bypasses the plan cache completely.
     """
-    prep = prepare_kernel(kernel, params=params, n=n, procs=procs, seed=seed)
+    wall0 = time.perf_counter()
+    prep = prepare_kernel(
+        kernel, params=params, n=n, procs=procs, seed=seed,
+        backend=backend, strip=strip, use_cache=use_cache,
+        need_plans=verify,
+    )
     best = None
     digest = None
     counters = None
-    for _ in range(max(1, repeat)):
+    first_run = None
+    warm_best = None
+    for index in range(max(1, repeat)):
         seconds, totals, run_digest = execute_prepared(
-            prep, backend, strip=strip, verify=verify
+            prep, backend, strip=strip, verify=verify,
+            no_cache=not use_cache,
         )
         if digest is not None and run_digest != digest:
             raise RuntimeError(
@@ -137,7 +226,12 @@ def measure_kernel(
         digest = run_digest
         counters = totals
         best = seconds if best is None else min(best, seconds)
-    return {
+        if index == 0:
+            first_run = seconds
+        else:
+            warm_best = seconds if warm_best is None else min(warm_best, seconds)
+    total_seconds = time.perf_counter() - wall0
+    record = {
         "kernel": kernel,
         "backend": backend,
         "shape": prep.shape,
@@ -145,7 +239,19 @@ def measure_kernel(
         "seconds": round(best, 6),
         "iterations": counters["fused_iterations"] + counters["peeled_iterations"],
         "checksum": digest,
+        "plan_seconds": round(prep.plan_seconds, 6),
+        "compile_seconds": round(prep.compile_seconds, 6),
+        "cold_seconds": round(
+            prep.plan_seconds + prep.compile_seconds + first_run, 6
+        ),
+        "warm_seconds": round(
+            warm_best if warm_best is not None else first_run, 6
+        ),
+        "total_seconds": round(total_seconds, 6),
     }
+    if backend == "jit":
+        record["cache"] = dict(prep.cache_stats)
+    return record
 
 
 def calibrate(loops: int = 2_000_000) -> float:

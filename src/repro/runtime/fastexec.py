@@ -263,15 +263,21 @@ def exec_box(
     box: Box,
     params: Mapping[str, int],
     arrays: MutableMapping[str, np.ndarray],
+    vdims: Optional[tuple[int, ...]] = None,
 ) -> int:
     """Execute every iteration of ``nest`` inside ``box`` (inclusive
     ``(lo, hi)`` per dimension), vectorizing the ``doall`` dimensions and
     iterating the rest scalarly in lexicographic order.  Returns the number
     of iterations executed.  Bit-identical to per-iteration interpretation
-    for any nest whose ``doall`` markings are truthful."""
+    for any nest whose ``doall`` markings are truthful.
+
+    ``vdims`` lets callers hoist the :func:`vector_dims` lookup out of
+    per-box loops: the analysis is memoized, but even a cache hit hashes
+    the whole nest structure, which dominates tiny strip-mined boxes."""
     if any(hi < lo for lo, hi in box):
         return 0
-    vdims = vector_dims(nest)
+    if vdims is None:
+        vdims = vector_dims(nest)
     sdims = [d for d in range(nest.depth) if d not in vdims]
     vec_count = 1
     for d in vdims:
@@ -310,15 +316,20 @@ def _run_proc_fused(
     params: Mapping[str, int],
     arrays: MutableMapping[str, np.ndarray],
     strip: Optional[int],
+    nest_vdims: Optional[Sequence[tuple[int, ...]]] = None,
 ) -> int:
+    if nest_vdims is None:
+        nest_vdims = [vector_dims(nest) for nest in nests]
     count = 0
     if strip is None:
         for k, nest in enumerate(nests):
-            count += exec_box(nest, tuple(proc.fused[k]), params, arrays)
+            count += exec_box(nest, tuple(proc.fused[k]), params, arrays,
+                              vdims=nest_vdims[k])
     else:
         for k, box in fused_tile_boxes(proc, plan.depth, nests, plan.shift,
                                        strip):
-            count += exec_box(nests[k], box, params, arrays)
+            count += exec_box(nests[k], box, params, arrays,
+                              vdims=nest_vdims[k])
     return count
 
 
@@ -327,10 +338,14 @@ def _run_proc_peeled(
     nests: Sequence[LoopNest],
     params: Mapping[str, int],
     arrays: MutableMapping[str, np.ndarray],
+    nest_vdims: Optional[Sequence[tuple[int, ...]]] = None,
 ) -> int:
+    if nest_vdims is None:
+        nest_vdims = [vector_dims(nest) for nest in nests]
     count = 0
     for rect in _sorted_rects(proc):
-        count += exec_box(nests[rect.nest_idx], rect.ranges, params, arrays)
+        count += exec_box(nests[rect.nest_idx], rect.ranges, params, arrays,
+                          vdims=nest_vdims[rect.nest_idx])
     return count
 
 
@@ -346,13 +361,17 @@ def run_vector(
     plan = exec_plan.plan
     nests = list(plan.seq)
     params = exec_plan.params
+    # Hoisted per (nest, plan): the legality analysis is identical for
+    # every box of a nest, so strip-mined runs must not redo it per tile.
+    nest_vdims = [vector_dims(nest) for nest in nests]
     fused = 0
     for proc in exec_plan.processors:
-        fused += _run_proc_fused(proc, plan, nests, params, arrays, strip)
+        fused += _run_proc_fused(proc, plan, nests, params, arrays, strip,
+                                 nest_vdims)
     # ---- barrier (Sec. 3.4) ----
     peeled = 0
     for proc in exec_plan.processors:
-        peeled += _run_proc_peeled(proc, nests, params, arrays)
+        peeled += _run_proc_peeled(proc, nests, params, arrays, nest_vdims)
     return {"fused_iterations": fused, "peeled_iterations": peeled}
 
 
@@ -375,15 +394,16 @@ def _mp_worker(exec_plan: ExecutionPlan, proc_indices: Sequence[int],
         plan = exec_plan.plan
         nests = list(plan.seq)
         params = exec_plan.params
+        nest_vdims = [vector_dims(nest) for nest in nests]
         fused = 0
         for idx in proc_indices:
             fused += _run_proc_fused(exec_plan.processors[idx], plan, nests,
-                                     params, arrays, strip)
+                                     params, arrays, strip, nest_vdims)
         barrier.wait(timeout=600)
         peeled = 0
         for idx in proc_indices:
             peeled += _run_proc_peeled(exec_plan.processors[idx], nests,
-                                       params, arrays)
+                                       params, arrays, nest_vdims)
         queue.put((fused, peeled))
     finally:
         del arrays

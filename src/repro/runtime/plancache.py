@@ -1,0 +1,274 @@
+"""Two-level cache of jit-compiled execution plans.
+
+Compiling a fused plan (:mod:`repro.codegen.emitpy`) costs analysis and
+``compile()`` time that is pure overhead when the same kernel runs again —
+the PyOP2 lesson: generate code per fused parloop once, key it by
+structure, amortize across invocations.  This module provides:
+
+* an **in-memory LRU** keyed by the structural plan signature
+  (:meth:`~repro.core.execplan.ExecutionPlan.signature`: kernel IR hash +
+  params + grid + boxes + strip), so repeated executions inside one
+  process reuse the compiled module directly;
+* a **persistent on-disk cache** of generated source under a
+  version-stamped directory (``$REPRO_JIT_CACHE_DIR`` or
+  ``~/.cache/repro/jit``, then ``v<CODEGEN_VERSION>/<signature>.py``), so
+  a fresh process skips emission and only pays one ``compile()``.
+  Entries embed their signature; corrupt or stale files are discarded and
+  regenerated, never trusted;
+* **program aliases**: a second index keyed by the *program-level*
+  signature (kernel IR + params + procs + strip, computable without
+  planning) mapping to the per-sequence plan signatures.  A warm alias
+  lets ``repro exec`` skip the analysis → derive → fuse → plan pipeline
+  entirely, not just compilation.
+
+All cache activity is tallied in :class:`CacheStats` so the CLI can report
+hits/misses and the benchmarks can prove the warm path spends (almost) no
+time planning or compiling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence
+
+from ..core.execplan import ExecutionPlan
+
+ENV_CACHE_DIR = "REPRO_JIT_CACHE_DIR"
+
+
+def _default_root() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "jit"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`PlanCache` instance."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    alias_hits: int = 0
+    alias_misses: int = 0
+    compile_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "alias_hits": self.alias_hits,
+            "alias_misses": self.alias_misses,
+            "compile_seconds": round(self.compile_seconds, 6),
+        }
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(**{
+            f.name: getattr(self, f.name) for f in _STATS_FIELDS
+        })
+
+    def delta(self, before: "CacheStats") -> dict:
+        out = {}
+        for f in _STATS_FIELDS:
+            value = getattr(self, f.name) - getattr(before, f.name)
+            out[f.name] = round(value, 6) if f.type == "float" else value
+        return out
+
+
+_STATS_FIELDS = [f for f in CacheStats.__dataclass_fields__.values()]
+
+
+@dataclass
+class PlanCache:
+    """Memory LRU over a persistent source directory (either level optional).
+
+    ``memory_slots`` bounds the LRU; ``persist=False`` turns the instance
+    into a pure in-memory cache (used by tests and by ``--no-cache``
+    diagnostics).
+    """
+
+    root: Optional[Path] = None
+    memory_slots: int = 128
+    persist: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root) if self.root is not None else _default_root()
+        self._memory: OrderedDict[str, object] = OrderedDict()
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def version_dir(self) -> Path:
+        from ..codegen.emitpy import CODEGEN_VERSION
+
+        return self.root / f"v{CODEGEN_VERSION}"
+
+    def source_path(self, signature: str) -> Path:
+        return self.version_dir / f"{signature}.py"
+
+    def alias_path(self, key: str) -> Path:
+        return self.version_dir / "aliases" / f"{key}.json"
+
+    # -- the two levels ----------------------------------------------------
+
+    def _remember(self, module) -> None:
+        self._memory[module.signature] = module
+        self._memory.move_to_end(module.signature)
+        while len(self._memory) > self.memory_slots:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _load_disk(self, signature: str):
+        """Load one on-disk entry; corrupt/stale files are dropped."""
+        from ..codegen.emitpy import JitCompileError, compile_source
+
+        if not self.persist:
+            return None
+        path = self.source_path(signature)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            return compile_source(source, expected_signature=signature)
+        except JitCompileError:
+            try:  # never trust the entry again
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _store_disk(self, module) -> None:
+        if not self.persist:
+            return
+        path = self.source_path(module.signature)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(module.source, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            pass  # a read-only cache directory only costs speed
+
+    def peek(self, signature: str):
+        """Memory → disk lookup without compiling anything new."""
+        module = self._memory.get(signature)
+        if module is not None:
+            self._memory.move_to_end(signature)
+            self.stats.memory_hits += 1
+            return module
+        module = self._load_disk(signature)
+        if module is not None:
+            self.stats.disk_hits += 1
+            self._remember(module)
+        return module
+
+    def get(self, exec_plan: ExecutionPlan, strip: Optional[int] = None):
+        """The main entry: cached module for ``exec_plan``, compiling (and
+        persisting) it on a miss."""
+        from ..codegen.emitpy import compile_source, emit_plan_source
+
+        signature = exec_plan.signature(strip=strip)
+        module = self.peek(signature)
+        if module is not None:
+            return module
+        self.stats.misses += 1
+        t0 = time.perf_counter()
+        source = emit_plan_source(exec_plan, strip=strip)
+        module = compile_source(source, expected_signature=signature)
+        self.stats.compile_seconds += time.perf_counter() - t0
+        self._store_disk(module)
+        self._remember(module)
+        return module
+
+    # -- program aliases ---------------------------------------------------
+
+    def lookup_alias(self, key: str):
+        """All modules for a program-level key, or None when any is missing."""
+        path = self.alias_path(key)
+        try:
+            signatures = json.loads(path.read_text(encoding="utf-8"))
+            assert isinstance(signatures, list)
+        except (OSError, ValueError, AssertionError):
+            self.stats.alias_misses += 1
+            return None
+        modules = [self.peek(sig) for sig in signatures]
+        if any(module is None for module in modules):
+            self.stats.alias_misses += 1
+            return None
+        self.stats.alias_hits += 1
+        return modules
+
+    def link_alias(self, key: str, signatures: Sequence[str]) -> None:
+        if not self.persist:
+            return
+        path = self.alias_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(list(signatures)), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+
+def program_signature(program, params: Mapping[str, int], procs: int,
+                      strip: Optional[int] = None) -> str:
+    """Structural key of (program IR, params, procs, strip) — everything
+    :func:`~repro.runtime.benchmarking.prepare_kernel` needs to produce a
+    deterministic set of execution plans, hashable *without* running the
+    planning pipeline.  Mutating any kernel body changes it."""
+    import hashlib
+
+    from ..codegen.emitpy import CODEGEN_VERSION
+
+    digest = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        digest.update(text.encode())
+        digest.update(b"\x1f")
+
+    feed(f"repro-program-signature-v1 codegen-v{CODEGEN_VERSION}")
+    for s, seq in enumerate(program.sequences):
+        feed(f"sequence {s} depth {seq.fusable_depth()}")
+        for nest in seq:
+            for lp in nest.loops:
+                feed(f"loop {lp.var} {lp.lower} {lp.upper} {int(lp.parallel)}")
+            for st in nest.body:
+                feed(f"stmt {st}")
+    for name, value in sorted(params.items()):
+        feed(f"param {name}={value}")
+    feed(f"procs {procs}")
+    feed(f"strip {strip}")
+    return digest.hexdigest()
+
+
+_default_cache: Optional[PlanCache] = None
+
+
+def default_cache() -> PlanCache:
+    """The process-wide cache (created on first use, honouring
+    ``$REPRO_JIT_CACHE_DIR`` at creation time)."""
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = PlanCache()
+    return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Drop the process-wide cache so the next use re-reads the env var."""
+    global _default_cache
+    _default_cache = None

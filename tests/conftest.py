@@ -8,6 +8,22 @@ import pytest
 from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
 
 
+@pytest.fixture(autouse=True)
+def _isolated_jit_cache(tmp_path, monkeypatch):
+    """Point the jit plan cache at a per-test directory.
+
+    Tests must never read (or pollute) the developer's ~/.cache/repro/jit;
+    the process-wide cache object is reset around each test so it picks up
+    the redirected environment variable.
+    """
+    from repro.runtime import plancache
+
+    monkeypatch.setenv(plancache.ENV_CACHE_DIR, str(tmp_path / "jit-cache"))
+    plancache.reset_default_cache()
+    yield
+    plancache.reset_default_cache()
+
+
 @pytest.fixture
 def n_var():
     return Affine.var("n")

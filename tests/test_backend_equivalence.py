@@ -1,10 +1,10 @@
 """Differential tests: fast backends must be bit-identical to the interpreter.
 
 Sweeps every registered kernel (and every sequence of the applications)
-through the ``vector`` backend — strip-mined and whole-box — and spot-checks
-the ``mp`` backend, comparing arrays *bitwise* (``np.array_equal``, not
-allclose) against the ``interp`` reference, on odd shapes including empty
-and single-iteration ranges.  Also unit-tests the vectorized box executor
+through the ``vector`` and ``jit`` backends — strip-mined and whole-box —
+and spot-checks the ``mp`` backend, comparing arrays *bitwise*
+(``np.array_equal``, not allclose) against the ``interp`` reference, on odd
+shapes including empty and single-iteration ranges.  Also unit-tests the vectorized box executor
 on the awkward access patterns (diagonals, transposed subscripts, strided
 subscripts, reductions over a missing target variable, sequential
 dimensions).
@@ -88,15 +88,16 @@ class TestAllKernelsAllBackends:
     @pytest.mark.parametrize("kernel", KERNEL_NAMES)
     @pytest.mark.parametrize("n", [13, 21])
     @pytest.mark.parametrize("procs", [1, 3])
-    def test_vector_matches_interp(self, kernel, n, procs):
+    def test_fast_backends_match_interp(self, kernel, n, procs):
         base, plans = _setup(kernel, n, procs)
         ref = copy_arrays(base)
         ref_counts = _run_backend(plans, ref, "interp")
-        for strip in (None, 3):
-            got = copy_arrays(base)
-            counts = _run_backend(plans, got, "vector", strip=strip)
-            _assert_identical(ref, got, (kernel, n, procs, strip))
-            assert counts == ref_counts, (kernel, n, procs, strip)
+        for backend in ("vector", "jit"):
+            for strip in (None, 3):
+                got = copy_arrays(base)
+                counts = _run_backend(plans, got, backend, strip=strip)
+                _assert_identical(ref, got, (backend, kernel, n, procs, strip))
+                assert counts == ref_counts, (backend, kernel, n, procs, strip)
 
     @pytest.mark.parametrize("kernel", ["jacobi", "ll18"])
     def test_mp_matches_interp(self, kernel):
@@ -168,7 +169,8 @@ class TestDegenerateRanges:
         ep = build_execution_plan(plan, params, num_procs=1)
         ref = copy_arrays(base)
         ref_counts = run_parallel(ep, ref)
-        for backend, kw in (("vector", {}), ("vector", {"strip": 2})):
+        for backend, kw in (("vector", {}), ("vector", {"strip": 2}),
+                            ("jit", {}), ("jit", {"strip": 2})):
             got = copy_arrays(base)
             counts = get_backend(backend).run(ep, got, **kw)
             _assert_identical(ref, got, (backend, n))
@@ -187,7 +189,8 @@ class TestDegenerateRanges:
         base = {name: rng.random(12) + 0.5 for name in "abc"}
         ref = copy_arrays(base)
         ref_counts = run_parallel(ep, ref)
-        for backend, kw in (("vector", {}), ("vector", {"strip": 2})):
+        for backend, kw in (("vector", {}), ("vector", {"strip": 2}),
+                            ("jit", {}), ("jit", {"strip": 2})):
             got = copy_arrays(base)
             counts = get_backend(backend).run(ep, got, **kw)
             _assert_identical(ref, got, (backend, fused_range))
@@ -303,7 +306,7 @@ class TestExecBoxAccessPatterns:
 class TestBackendRegistry:
     def test_available(self):
         names = available_backends()
-        for expected in ("interp", "vector", "mp"):
+        for expected in ("interp", "vector", "mp", "jit"):
             assert expected in names
 
     def test_unknown_backend(self):
@@ -328,13 +331,14 @@ class TestBackendRegistry:
         with pytest.raises(BackendMismatch):
             get_backend(name).run(ep, arrays, verify=True)
 
-    def test_verify_passes_for_vector(self):
+    @pytest.mark.parametrize("backend", ["vector", "jit"])
+    def test_verify_passes_for_fast_backends(self, backend):
         seq = _seq_1d()
         plan = derive_shift_peel(seq, ("n",))
         ep = build_execution_plan(plan, {"n": 17}, num_procs=3)
         rng = np.random.default_rng(5)
         arrays = {name: rng.random(18) for name in "abc"}
-        get_backend("vector").run(ep, arrays, verify=True)
+        get_backend(backend).run(ep, arrays, verify=True)
 
     def test_checksum_deterministic_and_sensitive(self):
         arrays = {"a": np.arange(4.0), "b": np.ones((2, 2))}

@@ -59,55 +59,80 @@ class TestFormatResult:
 
 
 def _entry(kernel="jacobi", backend="vector", shape="n=65", procs=4,
-           seconds=0.01, chk="aaaa"):
-    return {"kernel": kernel, "backend": backend, "shape": shape,
-            "procs": procs, "seconds": seconds, "iterations": 100,
-            "checksum": chk}
+           seconds=0.01, chk="aaaa", warm=None):
+    entry = {"kernel": kernel, "backend": backend, "shape": shape,
+             "procs": procs, "seconds": seconds, "iterations": 100,
+             "checksum": chk}
+    if warm is not None:
+        entry["warm_seconds"] = warm
+    return entry
 
 
-def _payload(entries, calibration=0.1, floors=None):
-    payload = {"version": 1, "python": "3.11.7",
+def _payload(entries, calibration=0.1, floors=None, geomean_floors=None):
+    payload = {"version": 2, "python": "3.11.7",
                "calibration_seconds": calibration, "entries": entries}
     if floors is not None:
         payload["floors"] = floors
+    if geomean_floors is not None:
+        payload["geomean_floors"] = geomean_floors
     return payload
+
+
+def _flat(failures):
+    return [f for cat in checker.CATEGORIES for f in failures[cat]]
 
 
 class TestRegressionChecker:
     def test_clean_pass(self):
         payload = _payload([_entry()])
         failures, _ = checker.check(payload, payload, 0.25, 0.05)
-        assert failures == []
+        assert _flat(failures) == []
+        assert checker.exit_code(failures) == checker.EXIT_OK
 
     def test_checksum_mismatch_fails(self):
         base = _payload([_entry(chk="aaaa")])
         fresh = _payload([_entry(chk="bbbb")])
         failures, _ = checker.check(fresh, base, 0.25, 0.05)
-        assert len(failures) == 1
-        assert "checksum mismatch" in failures[0]
+        assert len(failures["checksum"]) == 1
+        assert "checksum mismatch" in failures["checksum"][0]
+        assert checker.exit_code(failures) == checker.EXIT_CHECKSUM
+
+    def test_all_failing_entries_reported(self):
+        """One bad entry must not mask the next — every failure is listed."""
+        base = _payload([_entry(kernel="jacobi", chk="aaaa"),
+                         _entry(kernel="ll18", chk="aaaa"),
+                         _entry(kernel="calc", chk="aaaa", seconds=0.10)])
+        fresh = _payload([_entry(kernel="jacobi", chk="bbbb"),
+                          _entry(kernel="ll18", chk="cccc"),
+                          _entry(kernel="calc", chk="aaaa", seconds=0.50)])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert len(failures["checksum"]) == 2
+        assert len(failures["perf"]) == 1
+        assert checker.exit_code(failures) == checker.EXIT_BOTH
 
     def test_slowdown_fails_and_tolerance_respected(self):
         base = _payload([_entry(seconds=0.10)])
         ok = _payload([_entry(seconds=0.12)])
         bad = _payload([_entry(seconds=0.20)])
-        assert checker.check(ok, base, 0.25, 0.05)[0] == []
+        assert _flat(checker.check(ok, base, 0.25, 0.05)[0]) == []
         failures, _ = checker.check(bad, base, 0.25, 0.05)
-        assert any("slowdown" in f for f in failures)
+        assert any("slowdown" in f for f in failures["perf"])
+        assert checker.exit_code(failures) == checker.EXIT_PERF
 
     def test_micro_times_checksum_only(self):
         """Entries under --min-seconds never fail on timing noise."""
         base = _payload([_entry(seconds=0.001)])
         fresh = _payload([_entry(seconds=0.04)])  # 40x "slower" but micro
-        assert checker.check(fresh, base, 0.25, 0.05)[0] == []
+        assert _flat(checker.check(fresh, base, 0.25, 0.05)[0]) == []
 
     def test_calibration_rescales_allowance(self):
         """A machine measuring 2x slower on pure Python gets 2x budget."""
         base = _payload([_entry(seconds=0.10)], calibration=0.1)
         fresh = _payload([_entry(seconds=0.18)], calibration=0.2)
-        assert checker.check(fresh, base, 0.25, 0.05)[0] == []
+        assert _flat(checker.check(fresh, base, 0.25, 0.05)[0]) == []
         fresh_fast_machine = _payload([_entry(seconds=0.18)], calibration=0.1)
         failures, _ = checker.check(fresh_fast_machine, base, 0.25, 0.05)
-        assert any("slowdown" in f for f in failures)
+        assert any("slowdown" in f for f in failures["perf"])
 
     def test_speedup_floor(self):
         floors = [{"kernel": "jacobi", "shape": "n=65", "procs": 4,
@@ -121,30 +146,96 @@ class TestRegressionChecker:
             _entry(backend="vector", seconds=0.05, chk="cccc"),
         ]
         base = _payload(entries_ok, floors=floors)
-        assert checker.check(_payload(entries_ok), base, 0.25, 10.0)[0] == []
+        assert _flat(checker.check(_payload(entries_ok), base, 0.25, 10.0)[0]) == []
         failures, _ = checker.check(_payload(entries_bad), base, 0.25, 10.0)
-        assert any("speedup floor violated" in f for f in failures)
+        assert any("speedup floor violated" in f for f in failures["perf"])
+        assert checker.exit_code(failures) == checker.EXIT_PERF
+
+    def test_geomean_floor(self):
+        """jit must beat vector in geometric mean on warm_seconds."""
+        geomeans = [{"fast": "jit", "slow": "vector",
+                     "metric": "warm_seconds", "min_speedup": 1.3}]
+        entries_ok = [
+            _entry(kernel="jacobi", backend="vector", warm=0.030, chk="cc"),
+            _entry(kernel="jacobi", backend="jit", warm=0.010, chk="cc"),
+            _entry(kernel="ll18", backend="vector", warm=0.020, chk="dd"),
+            _entry(kernel="ll18", backend="jit", warm=0.015, chk="dd"),
+        ]  # ratios 3.0 and 1.33 -> geomean 2.0
+        entries_bad = [
+            _entry(kernel="jacobi", backend="vector", warm=0.010, chk="cc"),
+            _entry(kernel="jacobi", backend="jit", warm=0.010, chk="cc"),
+            _entry(kernel="ll18", backend="vector", warm=0.020, chk="dd"),
+            _entry(kernel="ll18", backend="jit", warm=0.019, chk="dd"),
+        ]  # ratios 1.0 and 1.05 -> geomean ~1.02
+        base = _payload(entries_ok, geomean_floors=geomeans)
+        failures, notes = checker.check(_payload(entries_ok), base, 0.25, 10.0)
+        assert _flat(failures) == []
+        assert any("geomean ok" in n for n in notes)
+        failures, _ = checker.check(_payload(entries_bad), base, 0.25, 10.0)
+        assert any("geomean floor violated" in f for f in failures["perf"])
+        assert checker.exit_code(failures) == checker.EXIT_PERF
+
+    def test_geomean_floor_skipped_without_metric(self):
+        geomeans = [{"fast": "jit", "slow": "vector",
+                     "metric": "warm_seconds", "min_speedup": 1.3}]
+        entries = [_entry(backend="vector"), _entry(backend="jit")]
+        base = _payload(entries, geomean_floors=geomeans)
+        failures, notes = checker.check(_payload(entries), base, 0.25, 10.0)
+        assert _flat(failures) == []
+        assert any("not measurable" in n or "lacks" in n for n in notes)
 
     def test_no_overlap_fails(self):
         base = _payload([_entry(kernel="jacobi")])
         fresh = _payload([_entry(kernel="ll18")])
         failures, notes = checker.check(fresh, base, 0.25, 0.05)
-        assert any("overlap" in f for f in failures)
+        assert any("overlap" in f for f in failures["structure"])
         assert any("new entry" in n for n in notes)
+        assert checker.exit_code(failures) == checker.EXIT_STRUCTURE
 
-    def test_main_update_preserves_floors(self, tmp_path):
-        floors = [{"kernel": "jacobi", "shape": "n=65", "procs": 4,
-                   "fast": "vector", "slow": "interp", "min_speedup": 30}]
+    def test_main_missing_files_exit_code(self, tmp_path, capsys):
+        rc = checker.main(["--bench", str(tmp_path / "nope.json"),
+                           "--baseline", str(tmp_path / "also-nope.json")])
+        assert rc == checker.EXIT_MISSING
+        assert "not found" in capsys.readouterr().err
+
+    def test_main_exit_codes_by_category(self, tmp_path):
         baseline_path = tmp_path / "baseline.json"
         bench_path = tmp_path / "fresh.json"
         baseline_path.write_text(json.dumps(
-            _payload([_entry(seconds=0.10)], floors=floors)))
+            _payload([_entry(chk="aaaa", seconds=0.10)])))
+        # checksum only -> 3
+        bench_path.write_text(json.dumps(
+            _payload([_entry(chk="bbbb", seconds=0.10)])))
+        assert checker.main(["--bench", str(bench_path),
+                             "--baseline", str(baseline_path)]) == 3
+        # perf only -> 4
+        bench_path.write_text(json.dumps(
+            _payload([_entry(chk="aaaa", seconds=0.50)])))
+        assert checker.main(["--bench", str(bench_path),
+                             "--baseline", str(baseline_path)]) == 4
+        # both -> 5
+        bench_path.write_text(json.dumps(
+            _payload([_entry(chk="bbbb", seconds=0.50)])))
+        assert checker.main(["--bench", str(bench_path),
+                             "--baseline", str(baseline_path)]) == 5
+
+    def test_main_update_preserves_floor_sections(self, tmp_path):
+        floors = [{"kernel": "jacobi", "shape": "n=65", "procs": 4,
+                   "fast": "vector", "slow": "interp", "min_speedup": 30}]
+        geomeans = [{"fast": "jit", "slow": "vector",
+                     "metric": "warm_seconds", "min_speedup": 1.3}]
+        baseline_path = tmp_path / "baseline.json"
+        bench_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(
+            _payload([_entry(seconds=0.10)], floors=floors,
+                     geomean_floors=geomeans)))
         bench_path.write_text(json.dumps(_payload([_entry(seconds=0.09)])))
         rc = checker.main(["--bench", str(bench_path),
                            "--baseline", str(baseline_path), "--update"])
         assert rc == 0
         updated = json.loads(baseline_path.read_text())
         assert updated["floors"] == floors
+        assert updated["geomean_floors"] == geomeans
         assert updated["entries"][0]["seconds"] == 0.09
 
     def test_main_refuses_update_on_failure(self, tmp_path, capsys):
@@ -160,8 +251,9 @@ class TestRegressionChecker:
         assert "refusing" in capsys.readouterr().err
 
     def test_committed_baseline_is_wellformed(self):
-        """The checked-in baseline must parse and carry the headline floor
-        the ISSUE gates on (vector >= 30x interp on jacobi)."""
+        """The checked-in baseline must parse and carry the headline gates:
+        vector >= 30x interp on jacobi, and warm jit >= 1.3x vector in
+        geometric mean."""
         baseline = json.loads(
             (REPO / "benchmarks" / "BENCH_fastexec.json").read_text())
         assert baseline["entries"], "baseline has no entries"
@@ -178,6 +270,18 @@ class TestRegressionChecker:
                 key = (floor["kernel"], floor[side], floor["shape"],
                        floor["procs"])
                 assert key in keys, f"floor references missing entry {key}"
+        jit_geomeans = [
+            f for f in baseline["geomean_floors"]
+            if f["fast"] == "jit" and f["slow"] == "vector"
+            and f.get("metric") == "warm_seconds" and f["min_speedup"] >= 1.3
+        ]
+        assert jit_geomeans, "jit 1.3x warm geomean floor missing"
+        jit_entries = [e for e in baseline["entries"]
+                       if e["backend"] == "jit"]
+        assert jit_entries, "baseline has no jit entries"
+        for entry in baseline["entries"]:
+            assert "warm_seconds" in entry and "cold_seconds" in entry, (
+                f"entry lacks cold/warm timing: {checker._key(entry)}")
 
 
 @pytest.mark.slow

@@ -1,0 +1,232 @@
+"""Plan-signature and plan-cache correctness.
+
+The jit backend is only sound if the cache key changes whenever execution
+could differ: different shapes, processor counts, strip sizes, kernel
+bodies and even hand-mutated processor boxes must all produce distinct
+signatures, while an identical plan built twice must produce the same one.
+On-disk entries are never trusted: corrupt or stale files are discarded
+and regenerated.  Finally, the whole point of the cache is measured here —
+a warm ``repro exec`` spends (essentially) nothing planning or compiling.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import copy_arrays
+
+from repro.codegen.emitpy import JitCompileError, compile_plan, compile_source
+from repro.core import build_execution_plan, derive_shift_peel, max_processors
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+from repro.kernels import get_kernel
+from repro.runtime.backend import checksum, get_backend, run_jit
+from repro.runtime.benchmarking import measure_kernel
+from repro.runtime.plancache import (
+    PlanCache,
+    default_cache,
+    program_signature,
+)
+
+
+def _chain(scale=2.0):
+    i = Affine.var("i")
+    n = Affine.var("n")
+    return LoopSequence(
+        (
+            LoopNest((Loop.make("i", 2, n - 1),),
+                     (assign("a", i, load("b", i) * scale),), name="L1"),
+            LoopNest((Loop.make("i", 2, n - 1),),
+                     (assign("c", i, load("a", i + 1) + load("a", i - 1)),),
+                     name="L2"),
+        ),
+        name="chain",
+    )
+
+
+def _chain_plan(n=13, procs=2, scale=2.0):
+    seq = _chain(scale)
+    plan = derive_shift_peel(seq, ("n",))
+    return build_execution_plan(plan, {"n": n}, num_procs=procs)
+
+
+def _kernel_plan(kernel="jacobi", n=13, procs=2):
+    info = get_kernel(kernel)
+    program = info.program()
+    seq = program.sequences[0]
+    plan = derive_shift_peel(seq, tuple(program.params), seq.fusable_depth())
+    params = {p: n for p in program.params}
+    legal = max_processors(plan, params)[0]
+    return build_execution_plan(plan, params, num_procs=min(procs, legal))
+
+
+class TestPlanSignature:
+    def test_identical_plans_share_a_signature(self):
+        assert _chain_plan().signature() == _chain_plan().signature()
+
+    def test_shape_procs_strip_all_distinguish(self):
+        base = _kernel_plan(n=13, procs=2)
+        signatures = {
+            base.signature(),
+            base.signature(strip=3),
+            base.signature(strip=4),
+            _kernel_plan(n=21, procs=2).signature(),
+            _kernel_plan(n=13, procs=3).signature(),
+        }
+        assert len(signatures) == 5
+
+    def test_mutated_kernel_body_invalidates(self):
+        assert (_chain_plan(scale=2.0).signature()
+                != _chain_plan(scale=3.0).signature())
+
+    def test_mutated_processor_boxes_invalidate(self):
+        """Degenerate-range tests shrink boxes via dataclasses.replace; a
+        cache keyed only on the source program would serve stale code."""
+        ep = _chain_plan(n=9, procs=1)
+        proc = ep.processors[0]
+        shrunk = dataclasses.replace(
+            proc, fused=tuple(((5, 4),) for _ in proc.fused)
+        )
+        mutated = dataclasses.replace(ep, processors=(shrunk,))
+        assert ep.signature() != mutated.signature()
+
+
+class TestProgramSignature:
+    def test_sensitivity(self):
+        program = get_kernel("jacobi").program()
+        base = program_signature(program, {"n": 13}, 2, None)
+        assert base == program_signature(program, {"n": 13}, 2, None)
+        assert base != program_signature(program, {"n": 21}, 2, None)
+        assert base != program_signature(program, {"n": 13}, 3, None)
+        assert base != program_signature(program, {"n": 13}, 2, 3)
+
+    def test_different_kernels_differ(self):
+        params = {"n": 13}
+        assert (program_signature(get_kernel("jacobi").program(), params, 2, None)
+                != program_signature(get_kernel("ll18").program(), params, 2, None))
+
+
+class TestPlanCacheLevels:
+    def test_memory_then_disk_hits(self, tmp_path):
+        cache = PlanCache(root=tmp_path / "c")
+        ep = _chain_plan()
+        module = cache.get(ep)
+        assert cache.stats.misses == 1
+        assert cache.get(ep) is module
+        assert cache.stats.memory_hits == 1
+        cache.clear_memory()
+        again = cache.get(ep)
+        assert cache.stats.disk_hits == 1
+        assert again.signature == module.signature
+        assert again.source == module.source
+
+    def test_lru_eviction(self, tmp_path):
+        cache = PlanCache(root=tmp_path / "c", memory_slots=2)
+        for n in (9, 11, 13):
+            cache.get(_chain_plan(n=n))
+        assert cache.stats.evictions == 1
+        assert len(cache._memory) == 2
+
+    def test_corrupt_disk_entry_regenerated(self, tmp_path):
+        cache = PlanCache(root=tmp_path / "c")
+        ep = _chain_plan()
+        module = cache.get(ep)
+        path = cache.source_path(module.signature)
+        path.write_text("this is not python (")
+        cache.clear_memory()
+        fresh = cache.get(ep)
+        assert fresh.source == module.source
+        assert path.read_text() == module.source  # rewritten, not trusted
+
+    def test_stale_signature_entry_ignored(self, tmp_path):
+        """A file whose embedded SIGNATURE disagrees with its name (e.g. a
+        hand-edited or wrongly copied entry) is dropped and regenerated."""
+        cache = PlanCache(root=tmp_path / "c")
+        victim = cache.get(_chain_plan(n=9))
+        other = cache.get(_chain_plan(n=13))
+        path = cache.source_path(victim.signature)
+        path.write_text(other.source)  # embedded SIGNATURE now mismatches
+        cache.clear_memory()
+        assert cache.peek(victim.signature) is None
+        assert not path.exists()
+        regenerated = cache.get(_chain_plan(n=9))
+        assert regenerated.source == victim.source
+
+    def test_compile_source_rejects_missing_signature(self):
+        with pytest.raises(JitCompileError):
+            compile_source("import numpy as np\ndef run(arrays):\n    pass\n")
+
+    def test_alias_roundtrip(self, tmp_path):
+        cache = PlanCache(root=tmp_path / "c")
+        ep = _chain_plan()
+        module = cache.get(ep)
+        assert cache.lookup_alias("somekey") is None
+        assert cache.stats.alias_misses == 1
+        cache.link_alias("somekey", [module.signature])
+        cache.clear_memory()
+        modules = cache.lookup_alias("somekey")
+        assert modules is not None and len(modules) == 1
+        assert modules[0].signature == module.signature
+        assert cache.stats.alias_hits == 1
+
+    def test_alias_with_missing_plan_entry_misses(self, tmp_path):
+        cache = PlanCache(root=tmp_path / "c")
+        cache.link_alias("dangling", ["0" * 64])
+        assert cache.lookup_alias("dangling") is None
+
+    def test_default_cache_honours_env(self, tmp_path):
+        # conftest's autouse fixture points REPRO_JIT_CACHE_DIR at tmp_path.
+        assert str(default_cache().root).startswith(str(tmp_path))
+
+
+class TestJitExecutionThroughCache:
+    def _arrays(self):
+        rng = np.random.default_rng(11)
+        return {name: rng.random(14) + 0.5 for name in "abc"}
+
+    def test_cached_and_fresh_results_identical(self):
+        ep = _chain_plan()
+        base = self._arrays()
+        via_cache = copy_arrays(base)
+        run_jit(ep, via_cache)
+        again = copy_arrays(base)
+        run_jit(ep, again)  # memory hit this time
+        no_cache = copy_arrays(base)
+        run_jit(ep, no_cache, no_cache=True)
+        vector = copy_arrays(base)
+        get_backend("vector").run(ep, vector)
+        assert checksum(via_cache) == checksum(again)
+        assert checksum(via_cache) == checksum(no_cache)
+        assert checksum(via_cache) == checksum(vector)
+
+    def test_no_cache_touches_no_files(self, tmp_path):
+        ep = _chain_plan()
+        run_jit(ep, self._arrays(), no_cache=True)
+        cache_root = tmp_path / "jit-cache"
+        assert not cache_root.exists() or not any(cache_root.rglob("*.py"))
+
+    def test_compile_plan_counts_match_module_constants(self):
+        ep = _chain_plan(n=17, procs=2)
+        module = compile_plan(ep)
+        rng = np.random.default_rng(0)
+        stats = module.run({name: rng.random(18) + 0.5 for name in "abc"})
+        assert stats["fused_iterations"] > 0
+        assert stats["peeled_iterations"] > 0
+
+
+class TestWarmExecOverhead:
+    def test_warm_run_spends_under_5_percent_planning(self):
+        """The acceptance bar for the cache: a warm ``repro exec`` must
+        spend less than 5 % of its wall clock planning + compiling."""
+        measure_kernel("jacobi", "jit", n=33, procs=2, repeat=2)  # cold
+        warm = measure_kernel("jacobi", "jit", n=33, procs=2, repeat=2)
+        overhead = warm["plan_seconds"] + warm["compile_seconds"]
+        assert warm["cache"]["alias_hits"] == 1
+        assert overhead == 0.0  # the alias hit skips planning entirely
+        assert overhead < 0.05 * warm["total_seconds"]
+
+    def test_cold_then_warm_checksums_match(self):
+        cold = measure_kernel("ll18", "jit", n=17, procs=2, repeat=1)
+        warm = measure_kernel("ll18", "jit", n=17, procs=2, repeat=1)
+        assert cold["checksum"] == warm["checksum"]
+        assert warm["plan_seconds"] == 0.0
