@@ -35,19 +35,22 @@ from repro.runtime.plancache import (  # noqa: E402
 
 # (kernel, n, procs, backends) — smoke tier runs everywhere, full tier adds
 # the paper-size shapes.  n=None keeps the kernel's default parameters.
+# mpjit checksums are machine-independent, so the smoke entries force the
+# pooled-parallel execution on a multi-core CI host to reproduce the bits
+# a single-core machine committed (and vice versa).
 SMOKE_CONFIGS = [
-    ("jacobi", 65, 4, ("interp", "vector", "mp", "jit")),
-    ("ll18", 65, 4, ("interp", "vector", "mp", "jit")),
-    ("filter", 65, 4, ("interp", "vector", "jit")),
-    ("calc", 65, 4, ("interp", "vector", "jit")),
-    ("jacobi", 255, 4, ("interp", "vector", "jit")),
+    ("jacobi", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
+    ("ll18", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
+    ("filter", 65, 4, ("interp", "vector", "jit", "mpjit")),
+    ("calc", 65, 4, ("interp", "vector", "jit", "mpjit")),
+    ("jacobi", 255, 4, ("interp", "vector", "jit", "mpjit")),
     ("jacobi", 255, 1, ("vector", "jit")),
 ]
 FULL_CONFIGS = [
-    ("jacobi", 511, 4, ("interp", "vector", "mp", "jit")),
-    ("ll18", 511, 4, ("vector", "jit")),
-    ("calc", 513, 4, ("vector", "jit")),
-    ("filter", 512, 4, ("vector", "jit")),
+    ("jacobi", 511, 4, ("interp", "vector", "mp", "jit", "mpjit")),
+    ("ll18", 511, 4, ("vector", "jit", "mpjit")),
+    ("calc", 513, 4, ("vector", "jit", "mpjit")),
+    ("filter", 512, 4, ("vector", "jit", "mpjit")),
 ]
 
 
@@ -86,8 +89,11 @@ def _run_configs(configs, repeat: int, verbose: bool, entries: list) -> dict:
                       f"warm {record['warm_seconds']:.6f}s  "
                       f"{record['checksum']}")
     return {
-        "version": 2,
+        "version": 3,
         "python": platform.python_version(),
+        # Recorded so perf floors can be conditioned on parallel hardware
+        # (a floor with "min_cpus" is skipped on smaller machines).
+        "cpu_count": os.cpu_count(),
         "calibration_seconds": round(calibrate(), 6),
         "entries": entries,
     }

@@ -11,7 +11,12 @@ non-zero when:
 * a **speedup floor** is violated — the baseline lists required
   fast-vs-reference ratios (e.g. ``vector`` at least 30x faster than
   ``interp`` on jacobi).  Both sides of a ratio come from the *uploaded*
-  file, so floors are immune to machine-speed differences;
+  file, so floors are immune to machine-speed differences.  A floor may
+  name a ``metric`` other than ``seconds`` (e.g. ``warm_seconds`` to
+  compare steady states) and may carry ``min_cpus``: a parallel-hardware
+  requirement (e.g. mpjit must beat warm serial jit *on a multi-core
+  host*) that is skipped, with a note, when the measuring machine's
+  recorded ``cpu_count`` is smaller;
 * a **geomean floor** is violated — the baseline can require that one
   backend beat another by a factor *in geometric mean across every kernel
   they share* (e.g. warm ``jit`` at least 1.3x faster than ``vector`` on
@@ -70,6 +75,13 @@ def _index(payload: dict) -> dict[tuple, dict]:
     return {_key(e): e for e in payload.get("entries", [])}
 
 
+def _lacks_cpus(floor: dict, bench_cpus) -> bool:
+    """True when a floor demands more cores than the measuring machine has
+    (or the bench file predates cpu_count recording)."""
+    need = floor.get("min_cpus")
+    return bool(need) and (not bench_cpus or bench_cpus < need)
+
+
 def check(bench: dict, baseline: dict, tolerance: float,
           min_seconds: float) -> tuple[dict[str, list[str]], list[str]]:
     """Return (failures by category, notes).
@@ -103,7 +115,16 @@ def check(bench: dict, baseline: dict, tolerance: float,
             )
 
     # 2. Speedup floors, measured entirely within the fresh file.
+    bench_cpus = bench.get("cpu_count")
     for floor in baseline.get("floors", []):
+        if _lacks_cpus(floor, bench_cpus):
+            notes.append(
+                f"floor needs >= {floor['min_cpus']} cpus, this machine "
+                f"has {bench_cpus or 'unknown'} (skipped): "
+                f"{floor['fast']} vs {floor['slow']} on {floor['kernel']}"
+            )
+            continue
+        metric = floor.get("metric", "seconds")
         slow_key = (floor["kernel"], floor["slow"], floor["shape"],
                     floor["procs"])
         fast_key = (floor["kernel"], floor["fast"], floor["shape"],
@@ -112,25 +133,36 @@ def check(bench: dict, baseline: dict, tolerance: float,
             notes.append(f"floor not measurable in this run (skipped): "
                          f"{floor['kernel']} {floor['shape']}")
             continue
-        fast_s = fresh[fast_key]["seconds"]
-        slow_s = fresh[slow_key]["seconds"]
-        speedup = slow_s / fast_s if fast_s > 0 else float("inf")
+        fast_s = fresh[fast_key].get(metric)
+        slow_s = fresh[slow_key].get(metric)
+        if not fast_s or not slow_s:
+            notes.append(f"floor pair lacks {metric!r} (skipped): "
+                         f"{floor['kernel']} [{floor['shape']}]")
+            continue
+        speedup = slow_s / fast_s
         if speedup < floor["min_speedup"]:
             failures["perf"].append(
                 f"speedup floor violated for {floor['kernel']} "
                 f"[{floor['shape']}]: {floor['fast']} is only "
-                f"{speedup:.1f}x faster than {floor['slow']} "
+                f"{speedup:.1f}x faster than {floor['slow']} on {metric} "
                 f"(required {floor['min_speedup']}x)"
             )
         else:
             notes.append(
                 f"floor ok: {floor['kernel']} [{floor['shape']}] "
-                f"{floor['fast']} {speedup:.0f}x over {floor['slow']} "
-                f"(>= {floor['min_speedup']}x)"
+                f"{floor['fast']} {speedup:.1f}x over {floor['slow']} "
+                f"on {metric} (>= {floor['min_speedup']}x)"
             )
 
     # 3. Geomean floors: one backend must beat another across the board.
     for floor in baseline.get("geomean_floors", []):
+        if _lacks_cpus(floor, bench_cpus):
+            notes.append(
+                f"geomean floor needs >= {floor['min_cpus']} cpus, this "
+                f"machine has {bench_cpus or 'unknown'} (skipped): "
+                f"{floor['fast']} vs {floor['slow']}"
+            )
+            continue
         metric = floor.get("metric", "seconds")
         ratios = []
         for key in fresh:

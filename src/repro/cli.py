@@ -6,7 +6,7 @@ Usage::
     python -m repro transform FILE [--style stripmined|direct|spmd]
     python -m repro analyze FILE
     python -m repro simulate KERNEL [--machine ksr2|convex] [--procs ...]
-    python -m repro exec KERNEL [--backend interp|vector|mp|jit] [--n N]
+    python -m repro exec KERNEL [--backend interp|vector|mp|jit|mpjit] [--n N]
     python -m repro experiment NAME        # table1, table2, fig18..fig26
     python -m repro list
 
@@ -130,6 +130,7 @@ def cmd_exec(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         verify=args.verify,
         use_cache=not args.no_cache,
+        max_workers=args.max_workers,
     )
     print(f"{record['kernel']} [{record['shape']}] on backend "
           f"{record['backend']} with {record['procs']} processors:")
@@ -145,6 +146,15 @@ def cmd_exec(args: argparse.Namespace) -> int:
               f"{cache.get('disk_hits', 0)} disk hits, "
               f"{cache.get('misses', 0)} misses, "
               f"{cache.get('alias_hits', 0)} alias hits")
+    if "pool_workers" in record:
+        if record["pool_workers"]:
+            print(f"  worker pool: {record['pool_workers']} workers "
+                  f"(spawned in {record['pool_spawn_seconds']:.6f} s, "
+                  f"{record['pool_runs']} runs), "
+                  f"steady-state {record['steady_seconds']:.6f} s")
+        else:
+            print("  worker pool: bypassed (one worker resolved; "
+                  "ran the compiled module serially)")
     print(f"  checksum {record['checksum']}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -237,6 +247,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="bypass the jit plan cache (recompile from scratch, "
                         "touch no cache files); no effect on other backends")
+    p.add_argument("--max-workers", type=int, default=None,
+                   help="cap the mp/mpjit worker count (default: the "
+                        "machine's core count)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the record as JSON")
     p.set_defaults(fn=cmd_exec)

@@ -43,7 +43,7 @@ from ..ir.stmt import BinOp, Const, Expr, Load, UnaryOp
 
 #: Bumped whenever the shape of generated code changes; part of the plan
 #: signature's on-disk directory name so stale cache trees are never read.
-CODEGEN_VERSION = 1
+CODEGEN_VERSION = 2
 
 IND = "    "
 
@@ -58,11 +58,21 @@ class JitCompileError(RuntimeError):
 
 @dataclass(frozen=True)
 class JitModule:
-    """A compiled plan: structural signature, source text and entry point."""
+    """A compiled plan: structural signature, source text and entry points.
+
+    ``run`` executes the whole plan serially (every processor's fused
+    function, the barrier point, every processor's peeled function).
+    ``run_fused``/``run_peeled`` execute *one* processor's phase and return
+    its iteration count — the entry points the ``mpjit`` worker pool calls
+    so each OS process runs only its assigned processors between real
+    barriers."""
 
     signature: str
     source: str
     run: Callable[[MutableMapping[str, np.ndarray]], dict]
+    run_fused: Callable[[int, MutableMapping[str, np.ndarray]], int]
+    run_peeled: Callable[[int, MutableMapping[str, np.ndarray]], int]
+    nprocs: int
 
 
 # ---------------------------------------------------------------------------
@@ -367,8 +377,8 @@ def emit_plan_source(exec_plan: ExecutionPlan,
     ]
     fused_names: list[str] = []
     peeled_names: list[str] = []
-    fused_total = 0
-    peeled_total = 0
+    fused_counts: list[int] = []
+    peeled_counts: list[int] = []
     for p, proc in enumerate(exec_plan.processors):
         if strip is None:
             chunks = [(k, nests[k], tuple(proc.fused[k]))
@@ -382,7 +392,7 @@ def emit_plan_source(exec_plan: ExecutionPlan,
         lines.extend(src)
         lines.append("")
         fused_names.append(name)
-        fused_total += count
+        fused_counts.append(count)
 
         rect_chunks = [(rect.nest_idx, nests[rect.nest_idx], rect.ranges)
                        for rect in _sorted_rects(proc)]
@@ -391,10 +401,25 @@ def emit_plan_source(exec_plan: ExecutionPlan,
         lines.extend(src)
         lines.append("")
         peeled_names.append(name)
-        peeled_total += count
+        peeled_counts.append(count)
 
-    lines.append(f"FUSED_ITERATIONS = {fused_total}")
-    lines.append(f"PEELED_ITERATIONS = {peeled_total}")
+    lines.append(f"NPROCS = {len(exec_plan.processors)}")
+    lines.append(f"FUSED_COUNTS = {tuple(fused_counts)!r}")
+    lines.append(f"PEELED_COUNTS = {tuple(peeled_counts)!r}")
+    lines.append(f"FUSED_ITERATIONS = {sum(fused_counts)}")
+    lines.append(f"PEELED_ITERATIONS = {sum(peeled_counts)}")
+    lines.append(f"_FUSED_FNS = ({', '.join(fused_names)},)")
+    lines.append(f"_PEELED_FNS = ({', '.join(peeled_names)},)")
+    lines.append("")
+    # Per-processor entry points: what one SPMD worker executes on its
+    # side of the barrier (the mpjit pool calls exactly these).
+    lines.append("def run_fused(proc, A):")
+    lines.append(f"{IND}_FUSED_FNS[proc](A)")
+    lines.append(f"{IND}return FUSED_COUNTS[proc]")
+    lines.append("")
+    lines.append("def run_peeled(proc, A):")
+    lines.append(f"{IND}_PEELED_FNS[proc](A)")
+    lines.append(f"{IND}return PEELED_COUNTS[proc]")
     lines.append("")
     lines.append("def run(A):")
     for name in fused_names:
@@ -429,14 +454,25 @@ def compile_source(source: str,
         raise JitCompileError(f"generated module failed to load: {exc}") from exc
     signature = namespace.get("SIGNATURE")
     run = namespace.get("run")
+    run_fused = namespace.get("run_fused")
+    run_peeled = namespace.get("run_peeled")
+    nprocs = namespace.get("NPROCS")
     if not isinstance(signature, str) or not callable(run):
         raise JitCompileError("generated module lacks SIGNATURE/run")
+    if (not callable(run_fused) or not callable(run_peeled)
+            or not isinstance(nprocs, int)):
+        raise JitCompileError(
+            "generated module lacks the per-processor entry points "
+            "(run_fused/run_peeled/NPROCS) — produced by an older codegen"
+        )
     if expected_signature is not None and signature != expected_signature:
         raise JitCompileError(
             f"stale generated module: signature {signature[:12]}... does "
             f"not match expected {expected_signature[:12]}..."
         )
-    return JitModule(signature=signature, source=source, run=run)
+    return JitModule(signature=signature, source=source, run=run,
+                     run_fused=run_fused, run_peeled=run_peeled,
+                     nprocs=nprocs)
 
 
 def compile_plan(exec_plan: ExecutionPlan,

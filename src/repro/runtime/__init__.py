@@ -33,6 +33,13 @@ from .plancache import (
     program_signature,
     reset_default_cache,
 )
+from .pool import (
+    WorkerPool,
+    pool_stats,
+    run_mpjit,
+    run_mpjit_module,
+    shutdown_pool,
+)
 
 __all__ = [
     "Backend",
@@ -41,6 +48,7 @@ __all__ = [
     "CompiledNest",
     "FastExecError",
     "PlanCache",
+    "WorkerPool",
     "available_backends",
     "checksum",
     "compile_nest",
@@ -50,17 +58,21 @@ __all__ = [
     "fused_work",
     "get_backend",
     "peeled_work",
+    "pool_stats",
     "program_signature",
     "register_backend",
     "reset_default_cache",
     "run_jit",
     "run_mp",
+    "run_mpjit",
+    "run_mpjit_module",
     "run_nest",
     "run_parallel",
     "run_program",
     "run_sequence_compiled",
     "run_sequence_serial",
     "run_unfused_parallel",
+    "shutdown_pool",
     "run_vector",
     "vector_dims",
 ]

@@ -16,6 +16,11 @@ examples and the benchmarks select an executor with a string:
   source (:mod:`repro.codegen.emitpy`), compiled and memoized through the
   two-level plan cache (:mod:`repro.runtime.plancache`), then executed as
   straight-line compiled code on every call.
+* ``mpjit`` — :func:`repro.runtime.pool.run_mpjit`, the same compiled
+  modules executed in parallel by a persistent worker pool: each worker
+  runs only its processors' ``run_fused``/``run_peeled`` entry points
+  over shared memory with a real barrier in between (the paper's
+  two-phase SPMD schedule, compiled).
 
 ``Backend.run(..., verify=True)`` cross-checks any fast backend against
 the interpreter on the spot and raises :class:`BackendMismatch` unless the
@@ -34,6 +39,7 @@ import numpy as np
 from ..core.execplan import ExecutionPlan
 from .fastexec import run_mp, run_vector
 from .parallel import run_parallel
+from .pool import run_mpjit
 
 
 class BackendMismatch(RuntimeError):
@@ -174,4 +180,11 @@ register_backend(Backend(
     description="plan compiled once to numpy source (plan-signature cached "
                 "in memory and on disk), executed many times",
     runner=run_jit,
+))
+register_backend(Backend(
+    name="mpjit",
+    description="compiled per-processor entry points executed by a "
+                "persistent worker pool over shared memory (fused phase, "
+                "barrier, peeled phase)",
+    runner=run_mpjit,
 ))

@@ -91,17 +91,18 @@ def prepare_kernel(
     reported processor count is the request, each plan carries its own
     clamped grid.
 
-    For ``backend='jit'`` with ``use_cache=True`` the plan cache is
-    consulted first: a warm program alias (same kernel IR, params, procs
-    and strip) yields the compiled modules without running the
-    analysis → derive → fuse → plan pipeline at all.  ``need_plans=True``
-    forces planning regardless (``verify`` needs the plans for the
-    interpreter oracle).
+    For ``backend='jit'`` (and ``'mpjit'``, which executes the same
+    compiled modules through the worker pool) with ``use_cache=True`` the
+    plan cache is consulted first: a warm program alias (same kernel IR,
+    params, procs and strip) yields the compiled modules without running
+    the analysis → derive → fuse → plan pipeline at all.
+    ``need_plans=True`` forces planning regardless (``verify`` needs the
+    plans for the interpreter oracle).
     """
     info = get_kernel(kernel)
     program = info.program()
     run_params = resolve_params(info, program, params=params, n=n)
-    jit_cached = backend == "jit" and use_cache
+    jit_cached = backend in ("jit", "mpjit") and use_cache
     cache = default_cache() if jit_cached else None
     alias_key = None
     if jit_cached:
@@ -147,27 +148,44 @@ def execute_prepared(
     strip: Optional[int] = None,
     verify: bool = False,
     no_cache: bool = False,
+    max_workers: Optional[int] = None,
 ) -> tuple[float, dict[str, int], str]:
     """One timed execution of all sequences: (seconds, counters, checksum).
 
     Array allocation happens outside the timed region; the run itself —
     including any backend setup such as shared-memory creation for ``mp``
+    and ``mpjit`` (and, on the first run, spawning the mpjit worker pool)
     — is what the clock sees.  When ``prep`` carries precompiled jit
     modules (and no interpreter verification is requested) they run
-    directly; otherwise execution goes through the backend registry.
+    directly — serially for ``jit``, through the persistent pool for
+    ``mpjit``; otherwise execution goes through the backend registry.
     """
     arrays = prep.alloc()
     totals = {"fused_iterations": 0, "peeled_iterations": 0}
     if prep.modules is not None and not verify:
+        if backend == "mpjit":
+            from .pool import run_mpjit_module
+
+            cache = default_cache()
+            cache_root = str(cache.root) if cache.persist else None
         t0 = time.perf_counter()
         for module in prep.modules:
-            stats = module.run(arrays)
+            if backend == "mpjit":
+                stats = run_mpjit_module(module, arrays,
+                                         max_workers=max_workers,
+                                         cache_root=cache_root)
+            else:
+                stats = module.run(arrays)
             for key in totals:
                 totals[key] += stats.get(key, 0)
         seconds = time.perf_counter() - t0
         return seconds, totals, checksum(arrays)
     be = get_backend(backend)
-    options = {"no_cache": True} if backend == "jit" and no_cache else {}
+    options: dict = {}
+    if backend in ("jit", "mpjit") and no_cache:
+        options["no_cache"] = True
+    if backend in ("mp", "mpjit") and max_workers is not None:
+        options["max_workers"] = max_workers
     t0 = time.perf_counter()
     for ep in prep.plans:
         stats = be.run(ep, arrays, strip=strip, verify=verify, **options)
@@ -188,6 +206,7 @@ def measure_kernel(
     seed: int = 7,
     verify: bool = False,
     use_cache: bool = True,
+    max_workers: Optional[int] = None,
 ) -> dict:
     """Best-of-``repeat`` wall-clock record for one kernel × backend.
 
@@ -201,6 +220,14 @@ def measure_kernel(
     cache hit), ``cold_seconds`` (plan + compile + first run) and
     ``warm_seconds`` (best run after the first).  ``use_cache=False``
     bypasses the plan cache completely.
+
+    For ``mpjit`` the record additionally separates pool startup from
+    steady state: ``pool_spawn_seconds`` (forking the persistent workers,
+    paid inside the *first* run only), ``pool_workers``, ``pool_runs``
+    and ``steady_seconds`` (an alias of ``warm_seconds``: every repeat
+    after the first executes against already-warm workers, which is the
+    number a long-running service would see).  ``max_workers`` caps the
+    worker count for the mp/mpjit backends.
     """
     wall0 = time.perf_counter()
     prep = prepare_kernel(
@@ -216,7 +243,7 @@ def measure_kernel(
     for index in range(max(1, repeat)):
         seconds, totals, run_digest = execute_prepared(
             prep, backend, strip=strip, verify=verify,
-            no_cache=not use_cache,
+            no_cache=not use_cache, max_workers=max_workers,
         )
         if digest is not None and run_digest != digest:
             raise RuntimeError(
@@ -249,8 +276,16 @@ def measure_kernel(
         ),
         "total_seconds": round(total_seconds, 6),
     }
-    if backend == "jit":
+    if backend in ("jit", "mpjit"):
         record["cache"] = dict(prep.cache_stats)
+    if backend == "mpjit":
+        from .pool import pool_stats
+
+        stats = pool_stats()
+        record["pool_workers"] = stats.get("nworkers", 0)
+        record["pool_runs"] = stats.get("runs", 0)
+        record["pool_spawn_seconds"] = stats.get("spawn_seconds", 0.0)
+        record["steady_seconds"] = record["warm_seconds"]
     return record
 
 

@@ -18,10 +18,19 @@ This module lowers the *same* plan to whole-array numpy operations:
   iterating those dimensions scalarly in order; only ``doall`` dimensions
   whose variable addresses the written array injectively are vectorized.
 
-* :func:`run_mp` runs one OS process per simulated processor over
+* :func:`run_mp` runs the plan over real OS processes (one per hardware
+  core by default, the simulated processors dealt round-robin) over
   ``multiprocessing.shared_memory`` buffers, with a real barrier between
   the fused and peeled phases — the measured-performance analogue of the
-  simulated machine.
+  simulated machine.  Worker failures are crash-safe: the parent polls
+  the result queue while checking worker liveness, aborts the barrier on
+  the first casualty and raises :class:`FastExecError` carrying the
+  worker's traceback instead of hanging on a dead peer.
+
+The shared-memory plumbing (:func:`export_arrays` / :func:`attach_arrays`
+/ :func:`collect_worker_results`) is reused by the persistent-pool
+``mpjit`` backend (:mod:`repro.runtime.pool`), which executes jit-compiled
+per-processor entry points instead of interpreting boxes.
 
 Both backends return the same counters as
 :func:`~repro.runtime.parallel.run_parallel` so callers can sanity-check
@@ -379,32 +388,187 @@ def run_vector(
 # The mp backend: one OS process per simulated processor, shared memory.
 # ---------------------------------------------------------------------------
 
+#: Backstop for a worker stuck at the barrier.  The parent aborts the
+#: barrier as soon as it detects a failure, so in practice a crash
+#: surfaces within a fraction of a second; this only bounds the truly
+#: pathological case of a parent that died without cleaning up.
+BARRIER_TIMEOUT = 600.0
 
-def _mp_worker(exec_plan: ExecutionPlan, proc_indices: Sequence[int],
-               specs: dict, barrier, strip: Optional[int], queue) -> None:
+#: How long the parent keeps draining the result queue after the first
+#: failure, so the root-cause traceback wins over the peers' secondary
+#: "barrier aborted" reports.
+_FAILURE_DRAIN_SECONDS = 1.0
+
+
+def _resolve_workers(nprocs: int, max_workers: Optional[int]) -> int:
+    """Worker count for ``nprocs`` simulated processors.
+
+    ``max_workers=None`` caps at the machine's core count: one OS process
+    per *hardware* core, never per simulated processor (a 56-processor
+    plan on a 4-core host gets 4 workers, each running 14 processors'
+    boxes in plan order)."""
+    import os
+
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    return max(1, min(nprocs, max_workers))
+
+
+def export_arrays(arrays: Mapping[str, np.ndarray]):
+    """Copy ``arrays`` into fresh shared-memory segments.
+
+    Returns ``(segments, specs)`` where ``specs`` maps each array name to
+    the picklable ``(shm_name, shape, dtype)`` triple a worker needs to
+    attach."""
     from multiprocessing import shared_memory
 
-    segments = []
+    segments: dict[str, shared_memory.SharedMemory] = {}
+    specs: dict[str, tuple] = {}
     try:
-        arrays: dict[str, np.ndarray] = {}
-        for name, (shm_name, shape, dtype) in specs.items():
-            seg = shared_memory.SharedMemory(name=shm_name)
-            segments.append(seg)
-            arrays[name] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
-        plan = exec_plan.plan
-        nests = list(plan.seq)
-        params = exec_plan.params
-        nest_vdims = [vector_dims(nest) for nest in nests]
-        fused = 0
-        for idx in proc_indices:
-            fused += _run_proc_fused(exec_plan.processors[idx], plan, nests,
-                                     params, arrays, strip, nest_vdims)
-        barrier.wait(timeout=600)
-        peeled = 0
-        for idx in proc_indices:
-            peeled += _run_proc_peeled(exec_plan.processors[idx], nests,
-                                       params, arrays, nest_vdims)
-        queue.put((fused, peeled))
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+            segments[name] = seg
+            specs[name] = (seg.name, arr.shape, arr.dtype.str)
+    except BaseException:
+        release_segments(segments)
+        raise
+    return segments, specs
+
+
+def attach_arrays(specs: Mapping[str, tuple], segments: list):
+    """Attach to the segments described by ``specs`` (worker side).
+
+    Opened segments are appended to ``segments`` so the caller's cleanup
+    sees everything that was opened even if a later attach fails."""
+    from multiprocessing import shared_memory
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, (shm_name, shape, dtype) in specs.items():
+        seg = shared_memory.SharedMemory(name=shm_name)
+        segments.append(seg)
+        arrays[name] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+    return arrays
+
+
+def copy_back_arrays(arrays: MutableMapping[str, np.ndarray],
+                     segments: Mapping) -> None:
+    """Copy shared-memory contents back into the caller's arrays."""
+    for name, arr in arrays.items():
+        seg = segments[name]
+        shared = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        arr[...] = shared
+        del shared
+
+
+def release_segments(segments: Mapping) -> None:
+    """Close and unlink every owned segment; never raises."""
+    for seg in segments.values():
+        try:
+            seg.close()
+            seg.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
+def collect_worker_results(queue, workers: Mapping[int, object], barrier,
+                           label: str) -> dict[int, tuple]:
+    """Gather one ``(worker_id, ok, payload)`` message per worker.
+
+    The queue is polled with a short timeout while checking worker
+    liveness, so a worker that dies *before* its ``queue.put`` surfaces as
+    a prompt :class:`FastExecError` instead of a 600 s barrier hang.  On
+    any failure the barrier is aborted (releasing the surviving peers) and
+    the queue is drained briefly so the root-cause traceback is reported
+    in preference to the peers' secondary ``BrokenBarrierError`` notices.
+    """
+    import time
+    from queue import Empty
+
+    results: dict[int, tuple] = {}
+    failures: list[str] = []
+    pending = set(workers)
+    suspect: dict[int, int] = {}
+    deadline: Optional[float] = None
+
+    def fail(message: str) -> None:
+        nonlocal deadline
+        barrier.abort()
+        failures.append(message)
+        if deadline is None:
+            deadline = time.monotonic() + _FAILURE_DRAIN_SECONDS
+
+    while pending:
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        try:
+            wid, ok, payload = queue.get(timeout=0.05)
+        except Empty:
+            for w in sorted(pending):
+                if workers[w].is_alive():
+                    suspect.pop(w, None)
+                    continue
+                # A clean exit flushes the queue feeder before the
+                # process dies, so give a just-died worker two more polls
+                # for its result to surface before declaring it lost.
+                suspect[w] = suspect.get(w, 0) + 1
+                if suspect[w] >= 3:
+                    pending.discard(w)
+                    fail(f"{label} worker {w} died without reporting a "
+                         f"result (exitcode {workers[w].exitcode})")
+            continue
+        pending.discard(wid)
+        suspect.pop(wid, None)
+        if ok:
+            results[wid] = payload
+        else:
+            fail(f"{label} worker {wid} failed:\n{payload}")
+    if failures:
+        # Order the genuine tracebacks ahead of barrier-abort fallout.
+        failures.sort(key=lambda m: ("barrier" in m.splitlines()[-1], m))
+        raise FastExecError(
+            f"{label} execution failed ({len(failures)} worker "
+            f"failure(s)):\n" + "\n".join(failures)
+        )
+    return results
+
+
+def _mp_worker(worker_id: int, exec_plan: ExecutionPlan,
+               proc_indices: Sequence[int], specs: dict, barrier,
+               strip: Optional[int], queue) -> None:
+    import threading
+    import traceback
+
+    segments: list = []
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        try:
+            arrays = attach_arrays(specs, segments)
+            plan = exec_plan.plan
+            nests = list(plan.seq)
+            params = exec_plan.params
+            nest_vdims = [vector_dims(nest) for nest in nests]
+            fused = 0
+            for idx in proc_indices:
+                fused += _run_proc_fused(exec_plan.processors[idx], plan,
+                                         nests, params, arrays, strip,
+                                         nest_vdims)
+            barrier.wait(timeout=BARRIER_TIMEOUT)
+            peeled = 0
+            for idx in proc_indices:
+                peeled += _run_proc_peeled(exec_plan.processors[idx], nests,
+                                           params, arrays, nest_vdims)
+            queue.put((worker_id, True, (fused, peeled)))
+        except threading.BrokenBarrierError:
+            queue.put((worker_id, False,
+                       "barrier broken or aborted (a peer failed first, or "
+                       f"no peer arrived within {BARRIER_TIMEOUT:.0f}s)"))
+        except BaseException:
+            # Ship the real traceback to the parent, then release any
+            # peers still parked at the barrier.
+            queue.put((worker_id, False, traceback.format_exc()))
+            barrier.abort()
     finally:
         del arrays
         for seg in segments:
@@ -417,64 +581,54 @@ def run_mp(
     strip: Optional[int] = None,
     max_workers: Optional[int] = None,
 ) -> dict[str, int]:
-    """Execute the plan with one OS process per simulated processor over
+    """Execute the plan with OS processes over
     ``multiprocessing.shared_memory``, with a real barrier between the
-    fused and peeled phases.  ``max_workers`` caps the worker count; the
-    simulated processors are dealt round-robin across workers (each worker
-    still runs its processors' phases in plan order)."""
+    fused and peeled phases.  ``max_workers`` caps the worker count
+    (default: the machine's core count); the simulated processors are
+    dealt round-robin across workers (each worker still runs its
+    processors' phases in plan order).
+
+    Worker failures never hang the parent: the result queue is polled
+    with liveness checks, a crashed or raising worker aborts the barrier,
+    and the resulting :class:`FastExecError` carries the worker's
+    traceback.  Shared-memory segments are unlinked on every path."""
     import multiprocessing as mp
-    from multiprocessing import shared_memory
 
     nprocs = len(exec_plan.processors)
-    nworkers = nprocs if max_workers is None else max(1, min(nprocs, max_workers))
+    nworkers = _resolve_workers(nprocs, max_workers)
     if nworkers == 1:
         return run_vector(exec_plan, arrays, strip=strip)
 
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-    segments: dict[str, shared_memory.SharedMemory] = {}
-    workers: list = []
+    segments: dict = {}
+    workers: dict[int, object] = {}
     try:
-        specs = {}
-        for name, arr in arrays.items():
-            arr = np.ascontiguousarray(arr)
-            seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
-            np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
-            segments[name] = seg
-            specs[name] = (seg.name, arr.shape, arr.dtype.str)
+        segments, specs = export_arrays(arrays)
         barrier = ctx.Barrier(nworkers)
-        queue = ctx.SimpleQueue()
+        queue = ctx.Queue()
         assignment = [list(range(w, nprocs, nworkers)) for w in range(nworkers)]
-        workers = [
-            ctx.Process(
+        workers = {
+            w: ctx.Process(
                 target=_mp_worker,
-                args=(exec_plan, assignment[w], specs, barrier, strip, queue),
+                args=(w, exec_plan, assignment[w], specs, barrier, strip,
+                      queue),
             )
             for w in range(nworkers)
-        ]
-        for w in workers:
+        }
+        for w in workers.values():
             w.start()
-        fused = peeled = 0
-        for _ in range(nworkers):
-            f, p = queue.get()
-            fused += f
-            peeled += p
-        for w in workers:
-            w.join(timeout=600)
-            if w.exitcode != 0:
-                raise FastExecError(
-                    f"mp worker exited with code {w.exitcode}"
-                )
-        for name, arr in arrays.items():
-            seg = segments[name]
-            shared = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
-            arr[...] = shared
-            del shared
+        results = collect_worker_results(queue, workers, barrier, "mp")
+        fused = sum(f for f, _ in results.values())
+        peeled = sum(p for _, p in results.values())
+        for w in workers.values():
+            w.join(timeout=60)
+        copy_back_arrays(arrays, segments)
         return {"fused_iterations": fused, "peeled_iterations": peeled}
     finally:
-        for w in workers:
+        for w in workers.values():
             if w.is_alive():
                 w.terminate()
-        for seg in segments.values():
-            seg.close()
-            seg.unlink()
+        for w in workers.values():
+            w.join(timeout=5)
+        release_segments(segments)

@@ -1,0 +1,331 @@
+"""Persistent worker pool executing jit-compiled plans in parallel (mpjit).
+
+The paper's execution model (Figs. 12/13) is SPMD: every processor runs
+its *fused* boxes, hits one barrier, then runs its *peeled* boxes.  After
+PR 1/PR 2 the two fast paths were split — ``jit`` ran compiled code
+serially and ``mp`` ran real processes through the slow uncompiled per-box
+interpreter.  This module closes the gap:
+
+* a :class:`WorkerPool` of long-lived OS processes is spawned **once**
+  (fork/spawn cost amortized across runs, exactly like the plan cache
+  amortizes compilation) and reused by every subsequent ``mpjit``
+  execution of the same worker count;
+* each worker keeps an in-memory dict of compiled
+  :class:`~repro.codegen.emitpy.JitModule` objects keyed by plan
+  signature.  A warm worker recompiles nothing.  A cold worker loads the
+  *generated source* from the on-disk plan cache by signature (the parent
+  already emitted and persisted it) and pays one ``compile()`` — never an
+  emission; the task carries the source inline as a last-resort fallback
+  for non-persistent caches;
+* one run is the paper's two-phase schedule verbatim: every worker calls
+  ``run_fused(proc, arrays)`` for its assigned processors over
+  ``multiprocessing.shared_memory``, waits on a real barrier, then calls
+  ``run_peeled(proc, arrays)``.
+
+Failure semantics match :func:`repro.runtime.fastexec.run_mp`: the parent
+polls the result queue with liveness checks, aborts the barrier on the
+first casualty, and raises :class:`~repro.runtime.fastexec.FastExecError`
+carrying the worker traceback.  A failed run poisons the barrier, so the
+pool is torn down and the next run transparently spawns a fresh one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+from typing import Mapping, MutableMapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.execplan import ExecutionPlan
+from .fastexec import (
+    BARRIER_TIMEOUT,
+    FastExecError,
+    _resolve_workers,
+    attach_arrays,
+    collect_worker_results,
+    copy_back_arrays,
+    export_arrays,
+    release_segments,
+)
+
+#: Test-only failure injection: when set (before the pool is spawned, so
+#: fork inheritance carries it into the workers), every worker calls it
+#: with ``(worker_id, signature)`` ahead of the fused phase.  Production
+#: code never sets it.
+_test_worker_hook = None
+
+
+def _load_module(modules: dict, signature: str, cache_root: Optional[str],
+                 source: str):
+    """Resolve a compiled module inside a worker.
+
+    Memory first (warm worker: nothing to do), then the on-disk plan
+    cache by signature (cold worker: one ``compile()``, no emission),
+    then the inline source shipped with the task (non-persistent cache).
+    Returns ``(module, 'memory'|'disk'|'inline')``.
+    """
+    module = modules.get(signature)
+    if module is not None:
+        return module, "memory"
+    mode = "inline"
+    if cache_root:
+        from .plancache import PlanCache
+
+        module = PlanCache(root=cache_root).peek(signature)
+        if module is not None:
+            mode = "disk"
+    if module is None:
+        from ..codegen.emitpy import compile_source
+
+        module = compile_source(source, expected_signature=signature)
+    modules[signature] = module
+    return module, mode
+
+
+def _pool_worker(worker_id: int, task_queue, result_queue, barrier) -> None:
+    """One long-lived worker: loop over tasks until the ``None`` sentinel.
+
+    Each task executes one plan's two-phase schedule for this worker's
+    assigned processors.  Errors are shipped to the parent as formatted
+    tracebacks; a failure releases barrier peers via ``barrier.abort()``.
+    """
+    import threading
+    import traceback
+
+    modules: dict = {}
+    while True:
+        task = task_queue.get()
+        if task is None:
+            break
+        signature, cache_root, source, specs, proc_indices = task
+        segments: list = []
+        arrays: dict[str, np.ndarray] = {}
+        try:
+            try:
+                module, load_mode = _load_module(
+                    modules, signature, cache_root, source
+                )
+                arrays = attach_arrays(specs, segments)
+                if _test_worker_hook is not None:
+                    _test_worker_hook(worker_id, signature)
+                fused = 0
+                for proc in proc_indices:
+                    fused += module.run_fused(proc, arrays)
+                barrier.wait(timeout=BARRIER_TIMEOUT)
+                peeled = 0
+                for proc in proc_indices:
+                    peeled += module.run_peeled(proc, arrays)
+                result_queue.put(
+                    (worker_id, True, (fused, peeled, load_mode))
+                )
+            except threading.BrokenBarrierError:
+                result_queue.put((worker_id, False,
+                                  "barrier broken or aborted (a peer "
+                                  "failed first)"))
+            except BaseException:
+                result_queue.put((worker_id, False, traceback.format_exc()))
+                barrier.abort()
+        finally:
+            del arrays
+            for seg in segments:
+                seg.close()
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent mpjit workers.
+
+    The barrier is created with ``parties == nworkers`` and reused across
+    runs (it resets after all parties pass); every run must therefore use
+    every worker, which :func:`run_mpjit_module` guarantees by clamping
+    the worker count to the processor count.
+    """
+
+    def __init__(self, nworkers: int) -> None:
+        import multiprocessing as mp
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        t0 = time.perf_counter()
+        self.nworkers = nworkers
+        self.barrier = ctx.Barrier(nworkers)
+        self.result_queue = ctx.Queue()
+        self.task_queues = [ctx.Queue() for _ in range(nworkers)]
+        self.workers = {
+            w: ctx.Process(
+                target=_pool_worker,
+                args=(w, self.task_queues[w], self.result_queue,
+                      self.barrier),
+                daemon=True,
+            )
+            for w in range(nworkers)
+        }
+        for proc in self.workers.values():
+            proc.start()
+        self.spawn_seconds = time.perf_counter() - t0
+        self.runs = 0
+        self.broken = False
+        self.last_load_modes: tuple[str, ...] = ()
+
+    def healthy(self) -> bool:
+        return not self.broken and all(
+            proc.is_alive() for proc in self.workers.values()
+        )
+
+    def run_module(self, module, assignment: Sequence[Sequence[int]],
+                   specs: Mapping[str, tuple],
+                   cache_root: Optional[str]) -> tuple[int, int]:
+        """Submit one two-phase execution; returns (fused, peeled) totals.
+
+        Any worker failure marks the pool broken (the shared barrier is
+        aborted and cannot be reused) and re-raises promptly.
+        """
+        assert len(assignment) == self.nworkers
+        self.runs += 1
+        for w, procs in enumerate(assignment):
+            self.task_queues[w].put(
+                (module.signature, cache_root, module.source, specs,
+                 tuple(procs))
+            )
+        try:
+            results = collect_worker_results(
+                self.result_queue, self.workers, self.barrier, "mpjit"
+            )
+        except FastExecError:
+            self.broken = True
+            raise
+        self.last_load_modes = tuple(
+            results[w][2] for w in sorted(results)
+        )
+        fused = sum(r[0] for r in results.values())
+        peeled = sum(r[1] for r in results.values())
+        return fused, peeled
+
+    def shutdown(self) -> None:
+        """Stop every worker (sentinel, then terminate stragglers)."""
+        for q in self.task_queues:
+            try:
+                q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self.workers.values():
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in self.workers.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.workers.values():
+            proc.join(timeout=5)
+        for q in [self.result_queue, *self.task_queues]:
+            q.close()
+        self.broken = True
+
+
+_pool: Optional[WorkerPool] = None
+_spawns = 0
+
+
+def get_pool(nworkers: int) -> WorkerPool:
+    """The process-wide pool, (re)spawned when absent, resized or broken."""
+    global _pool, _spawns
+    if _pool is not None and (
+        _pool.nworkers != nworkers or not _pool.healthy()
+    ):
+        shutdown_pool()
+    if _pool is None:
+        _pool = WorkerPool(nworkers)
+        _spawns += 1
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the process-wide pool (no-op when there is none)."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
+
+
+atexit.register(shutdown_pool)
+
+
+def pool_stats() -> dict:
+    """Observability for benchmarks and the CLI: spawn cost vs reuse."""
+    if _pool is None:
+        return {"alive": False, "spawns": _spawns, "nworkers": 0,
+                "runs": 0, "spawn_seconds": 0.0}
+    return {
+        "alive": _pool.healthy(),
+        "spawns": _spawns,
+        "nworkers": _pool.nworkers,
+        "runs": _pool.runs,
+        "spawn_seconds": round(_pool.spawn_seconds, 6),
+        "last_load_modes": list(_pool.last_load_modes),
+    }
+
+
+def run_mpjit_module(
+    module,
+    arrays: MutableMapping[str, np.ndarray],
+    max_workers: Optional[int] = None,
+    cache_root: Optional[str] = None,
+) -> dict[str, int]:
+    """Execute a compiled :class:`JitModule` through the worker pool.
+
+    The processors are dealt round-robin across ``min(nprocs, cores)``
+    workers (``max_workers`` overrides the core count).  With one worker
+    the pool is bypassed entirely — the module runs serially in-process,
+    which is bit-identical by construction."""
+    nprocs = module.nprocs
+    nworkers = _resolve_workers(nprocs, max_workers)
+    if nworkers == 1:
+        return module.run(arrays)
+    segments: dict = {}
+    try:
+        segments, specs = export_arrays(arrays)
+        assignment = [
+            tuple(range(w, nprocs, nworkers)) for w in range(nworkers)
+        ]
+        pool = get_pool(nworkers)
+        fused, peeled = pool.run_module(
+            module, assignment, specs, cache_root
+        )
+        copy_back_arrays(arrays, segments)
+        return {"fused_iterations": fused, "peeled_iterations": peeled}
+    except FastExecError:
+        # The shared barrier is aborted; drop the poisoned pool so the
+        # next run starts from a clean slate.
+        shutdown_pool()
+        raise
+    finally:
+        release_segments(segments)
+
+
+def run_mpjit(
+    exec_plan: ExecutionPlan,
+    arrays: MutableMapping[str, np.ndarray],
+    strip: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    no_cache: bool = False,
+    cache=None,
+) -> dict[str, int]:
+    """The ``mpjit`` backend: compiled code, real parallel processes.
+
+    Compiles (or fetches from the plan cache) the jit module for
+    ``exec_plan`` exactly like the ``jit`` backend, persists its source so
+    cold workers can load it by signature, then executes the paper's
+    two-phase schedule on the persistent pool."""
+    if no_cache:
+        from ..codegen.emitpy import compile_plan
+
+        module = compile_plan(exec_plan, strip=strip)
+        cache_root = None
+    else:
+        if cache is None:
+            from .plancache import default_cache
+
+            cache = default_cache()
+        module = cache.get(exec_plan, strip=strip)
+        cache_root = str(cache.root) if cache.persist else None
+    return run_mpjit_module(module, arrays, max_workers=max_workers,
+                            cache_root=cache_root)

@@ -1,10 +1,12 @@
 """Differential tests: fast backends must be bit-identical to the interpreter.
 
 Sweeps every registered kernel (and every sequence of the applications)
-through the ``vector`` and ``jit`` backends — strip-mined and whole-box —
-and spot-checks the ``mp`` backend, comparing arrays *bitwise*
+through the ``vector``, ``jit`` and ``mpjit`` backends — strip-mined and
+whole-box — and spot-checks the ``mp`` backend, comparing arrays *bitwise*
 (``np.array_equal``, not allclose) against the ``interp`` reference, on odd
-shapes including empty and single-iteration ranges.  Also unit-tests the vectorized box executor
+shapes including empty and single-iteration ranges.  The mpjit runs force
+``max_workers=2`` so the pooled-parallel path executes even on a one-core
+host.  Also unit-tests the vectorized box executor
 on the awkward access patterns (diagonals, transposed subscripts, strided
 subscripts, reductions over a missing target variable, sequential
 dimensions).
@@ -92,10 +94,14 @@ class TestAllKernelsAllBackends:
         base, plans = _setup(kernel, n, procs)
         ref = copy_arrays(base)
         ref_counts = _run_backend(plans, ref, "interp")
-        for backend in ("vector", "jit"):
+        for backend in ("vector", "jit", "mpjit"):
+            # mpjit: force two pooled workers so the parallel compiled
+            # path runs even where os.cpu_count() == 1.
+            extra = {"max_workers": 2} if backend == "mpjit" else {}
             for strip in (None, 3):
                 got = copy_arrays(base)
-                counts = _run_backend(plans, got, backend, strip=strip)
+                counts = _run_backend(plans, got, backend, strip=strip,
+                                      **extra)
                 _assert_identical(ref, got, (backend, kernel, n, procs, strip))
                 assert counts == ref_counts, (backend, kernel, n, procs, strip)
 
@@ -105,7 +111,7 @@ class TestAllKernelsAllBackends:
         ref = copy_arrays(base)
         ref_counts = _run_backend(plans, ref, "interp")
         got = copy_arrays(base)
-        counts = _run_backend(plans, got, "mp")
+        counts = _run_backend(plans, got, "mp", max_workers=2)
         _assert_identical(ref, got, (kernel, "mp"))
         assert counts == ref_counts
 
@@ -116,7 +122,7 @@ class TestAllKernelsAllBackends:
         ref = copy_arrays(base)
         _run_backend(plans, ref, "interp")
         got = copy_arrays(base)
-        _run_backend(plans, got, "mp")
+        _run_backend(plans, got, "mp", max_workers=2)
         _assert_identical(ref, got, (kernel, "mp"))
 
 
@@ -306,7 +312,7 @@ class TestExecBoxAccessPatterns:
 class TestBackendRegistry:
     def test_available(self):
         names = available_backends()
-        for expected in ("interp", "vector", "mp", "jit"):
+        for expected in ("interp", "vector", "mp", "jit", "mpjit"):
             assert expected in names
 
     def test_unknown_backend(self):

@@ -1,0 +1,244 @@
+"""Worker-crash safety for the mp and mpjit backends.
+
+A parallel runtime is only production-grade if a dead worker surfaces as
+a prompt, informative error instead of a 600 s barrier hang.  These tests
+inject failures into one worker — a Python exception (the traceback must
+travel to the parent) and a hard ``os._exit`` (the liveness poll must
+notice) — and assert that the run raises
+:class:`~repro.runtime.fastexec.FastExecError` well under 10 seconds,
+leaks no shared-memory segments and leaves no live child processes.
+Failure injection relies on ``fork`` start-method inheritance (the
+monkeypatched module state is visible in the forked worker), so the
+crash tests skip on platforms without ``fork``.
+"""
+
+import multiprocessing as mp
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import build_execution_plan, derive_shift_peel
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+from repro.runtime import fastexec
+from repro.runtime import pool as pool_mod
+from repro.runtime.fastexec import FastExecError, _resolve_workers, run_mp
+from repro.runtime.pool import pool_stats, run_mpjit, shutdown_pool
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="crash injection relies on fork inheritance",
+)
+
+CRASH_BUDGET_SECONDS = 10.0
+
+
+def _plan(n=25, procs=3):
+    i = Affine.var("i")
+    nsym = Affine.var("n")
+    seq = LoopSequence(
+        (
+            LoopNest((Loop.make("i", 2, nsym - 1),),
+                     (assign("a", i, load("b", i)),), name="L1"),
+            LoopNest((Loop.make("i", 2, nsym - 1),),
+                     (assign("c", i, load("a", i + 1) + load("a", i - 1)),),
+                     name="L2"),
+        ),
+        name="chain",
+    )
+    plan = derive_shift_peel(seq, ("n",))
+    return build_execution_plan(plan, {"n": n}, num_procs=procs)
+
+
+def _arrays(size=26, seed=11):
+    rng = np.random.default_rng(seed)
+    return {name: rng.random(size) + 0.5 for name in "abc"}
+
+
+def _shm_entries():
+    """Names of live POSIX shared-memory segments (Linux); None elsewhere."""
+    base = Path("/dev/shm")
+    if not base.is_dir():
+        return None
+    return {p.name for p in base.iterdir()}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    """Crash tests must not inherit (or leave behind) a live pool: the
+    injection hook is captured at fork time, and a poisoned barrier must
+    not leak into the next test."""
+    shutdown_pool()
+    yield
+    pool_mod._test_worker_hook = None
+    shutdown_pool()
+
+
+@pytest.fixture
+def leak_check():
+    """Assert no new shm segments and no new child processes survive."""
+    shm_before = _shm_entries()
+    children_before = set(mp.active_children())
+    yield
+    # A healthy pool deliberately outlives the run; retire it before
+    # checking so only *unexpected* survivors count as leaks.
+    shutdown_pool()
+    leftover = set(mp.active_children()) - children_before
+    assert not leftover, f"live child processes leaked: {leftover}"
+    if shm_before is not None:
+        leaked = _shm_entries() - shm_before
+        assert not leaked, f"shared-memory segments leaked: {leaked}"
+
+
+class TestRunMpCrashSafety:
+    @needs_fork
+    def test_worker_exception_ships_traceback(self, monkeypatch, leak_check):
+        def boom(*args, **kwargs):
+            raise ValueError("injected-mp-boom")
+
+        monkeypatch.setattr(fastexec, "_run_proc_fused", boom)
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError) as excinfo:
+            run_mp(_plan(), _arrays(), max_workers=2)
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+        message = str(excinfo.value)
+        assert "injected-mp-boom" in message
+        assert "Traceback" in message
+
+    @needs_fork
+    def test_worker_hard_crash_detected_by_liveness_poll(
+        self, monkeypatch, leak_check
+    ):
+        monkeypatch.setattr(
+            fastexec, "_run_proc_fused",
+            lambda *args, **kwargs: os._exit(17),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError) as excinfo:
+            run_mp(_plan(), _arrays(), max_workers=2)
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+        message = str(excinfo.value)
+        assert "died without reporting" in message
+        assert "17" in message
+
+    @needs_fork
+    def test_peel_phase_exception_after_barrier(self, monkeypatch, leak_check):
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected-peel-boom")
+
+        monkeypatch.setattr(fastexec, "_run_proc_peeled", boom)
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError, match="injected-peel-boom"):
+            run_mp(_plan(), _arrays(), max_workers=2)
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+
+    def test_default_worker_count_capped_by_cores(self, monkeypatch):
+        """A 56-processor plan must not fork 56 processes on a small host."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        assert _resolve_workers(56, None) == 4
+        assert _resolve_workers(2, None) == 2
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert _resolve_workers(56, None) == 1
+        # An explicit request still wins (tests use it to force the pool).
+        assert _resolve_workers(56, 8) == 8
+        assert _resolve_workers(3, 8) == 3
+        assert _resolve_workers(3, 0) == 1
+
+
+class TestMpjitCrashSafety:
+    @needs_fork
+    def test_worker_exception_ships_traceback(self, leak_check):
+        def boom(worker_id, signature):
+            raise ValueError("injected-mpjit-boom")
+
+        pool_mod._test_worker_hook = boom
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError) as excinfo:
+            run_mpjit(_plan(), _arrays(), max_workers=2)
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+        message = str(excinfo.value)
+        assert "injected-mpjit-boom" in message
+        assert "Traceback" in message
+        # The poisoned pool (aborted barrier) must be gone.
+        assert pool_stats()["alive"] is False
+
+    @needs_fork
+    def test_worker_hard_crash_detected(self, leak_check):
+        pool_mod._test_worker_hook = (
+            lambda worker_id, signature: os._exit(23)
+        )
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError) as excinfo:
+            run_mpjit(_plan(), _arrays(), max_workers=2)
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+        assert "died without reporting" in str(excinfo.value)
+        assert pool_stats()["alive"] is False
+
+    @needs_fork
+    def test_pool_recovers_after_crash(self, leak_check):
+        """A failed run tears the pool down; the next run must spawn a
+        fresh pool and produce correct results."""
+        def boom(worker_id, signature):
+            raise ValueError("poison")
+
+        pool_mod._test_worker_hook = boom
+        with pytest.raises(FastExecError):
+            run_mpjit(_plan(), _arrays(), max_workers=2)
+        pool_mod._test_worker_hook = None
+
+        ep = _plan()
+        base = _arrays()
+        from repro.runtime import run_parallel
+
+        ref = {k: v.copy() for k, v in base.items()}
+        expected = run_parallel(ep, ref)
+        got = {k: v.copy() for k, v in base.items()}
+        stats = run_mpjit(ep, got, max_workers=2)
+        assert stats == {
+            "fused_iterations": expected["fused_iterations"],
+            "peeled_iterations": expected["peeled_iterations"],
+        }
+        for name in ref:
+            assert np.array_equal(ref[name], got[name]), name
+        assert pool_stats()["alive"] is True
+
+
+class TestPoolLifecycle:
+    def test_pool_spawned_once_across_runs(self, leak_check):
+        """The fork/spawn cost is paid once and amortized: repeated mpjit
+        runs reuse the same workers, and a warm worker re-executes from
+        its in-memory module (recompiling nothing)."""
+        ep = _plan()
+        spawns_before = pool_stats()["spawns"]
+        for _ in range(3):
+            run_mpjit(ep, _arrays(), max_workers=2)
+        stats = pool_stats()
+        assert stats["alive"] is True
+        assert stats["spawns"] == spawns_before + 1
+        assert stats["runs"] == 3
+        assert stats["nworkers"] == 2
+        # First run: workers load the parent-persisted source from the
+        # on-disk plan cache; afterwards it is memory-resident.
+        assert stats["last_load_modes"] == ["memory", "memory"]
+
+    def test_single_worker_bypasses_pool(self, leak_check):
+        """With one resolved worker the compiled module runs serially
+        in-process — no pool, no shared memory."""
+        run_mpjit(_plan(procs=2), _arrays(), max_workers=1)
+        assert pool_stats()["alive"] is False
+
+    def test_worker_loads_from_disk_cache_when_cold(self, leak_check):
+        """A cold worker fetches the generated source from the on-disk
+        plan cache by signature (one compile, no emission)."""
+        run_mpjit(_plan(), _arrays(), max_workers=2)
+        assert pool_stats()["last_load_modes"] == ["disk", "disk"]
+
+    def test_success_leaves_no_shm(self):
+        before = _shm_entries()
+        if before is None:
+            pytest.skip("no /dev/shm on this platform")
+        run_mpjit(_plan(), _arrays(), max_workers=2)
+        shutdown_pool()
+        assert _shm_entries() - before == set()
