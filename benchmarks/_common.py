@@ -31,7 +31,8 @@ def run_figure(benchmark, fn, name: str, *args, **kwargs):
     """Run ``fn`` once under pytest-benchmark, print and archive output."""
     result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
     text = format_result(result)
-    OUT_DIR.mkdir(exist_ok=True)
+    # out/ is untracked scratch (gitignored); always created on demand.
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n=== {name} ===\n{text}")
     return result

@@ -1,118 +1,70 @@
-"""Wall-clock benchmark of the execution backends -> BENCH_fastexec.json.
+"""Wall-clock benchmark of the execution backends -> immutable run dirs.
 
 Unlike the ``bench_fig*.py`` harnesses (which regenerate the paper's
 simulated figures), this benchmark measures *real* execution time of the
-fused plans through each runtime backend and writes a machine-readable
-artifact so the performance trajectory is tracked PR-over-PR:
+fused plans through each runtime backend.  Every invocation writes an
+**immutable** ``benchmarks/results/<run_id>/`` directory — per-repeat
+samples in ``telemetry.json`` plus ``summary.csv`` aggregates — and
+appends one line to ``benchmarks/results/trajectory.jsonl`` so
+successive runs form a comparable series (see :mod:`repro.bench`):
 
     python benchmarks/bench_fastexec.py --smoke --out BENCH_fastexec.json
-    python scripts/check_bench_regression.py --bench BENCH_fastexec.json
+    python scripts/check_bench_regression.py --bench benchmarks/results
 
 ``--smoke`` runs the tiny-shape configurations CI uses (a few seconds);
 the default run adds the paper-size jacobi (512 x 512 arrays), whose
 interp-vs-vector ratio is the headline speedup this backend exists for.
-Checksums in the artifact are machine-independent; seconds are not, which
-is why the regression checker rescales them by the recorded calibration.
+Checksums in the telemetry are machine-independent; seconds are not,
+which is why the regression checker rescales them by the recorded
+calibration.  ``--out`` additionally writes the flat one-file payload
+(the committed-baseline shape) for tooling that wants a single JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
-import platform
 import sys
-import tempfile
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.runtime.benchmarking import calibrate, measure_kernel  # noqa: E402
-from repro.runtime.plancache import (  # noqa: E402
-    ENV_CACHE_DIR,
-    reset_default_cache,
-)
+from repro.bench.harness import run_suite  # noqa: E402
+from repro.bench.store import write_run  # noqa: E402
 
-# (kernel, n, procs, backends) — smoke tier runs everywhere, full tier adds
-# the paper-size shapes.  n=None keeps the kernel's default parameters.
-# mpjit checksums are machine-independent, so the smoke entries force the
-# pooled-parallel execution on a multi-core CI host to reproduce the bits
-# a single-core machine committed (and vice versa).
-SMOKE_CONFIGS = [
-    ("jacobi", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
-    ("ll18", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
-    ("filter", 65, 4, ("interp", "vector", "jit", "mpjit")),
-    ("calc", 65, 4, ("interp", "vector", "jit", "mpjit")),
-    ("jacobi", 255, 4, ("interp", "vector", "jit", "mpjit")),
-    ("jacobi", 255, 1, ("vector", "jit")),
-]
-FULL_CONFIGS = [
-    ("jacobi", 511, 4, ("interp", "vector", "mp", "jit", "mpjit")),
-    ("ll18", 511, 4, ("vector", "jit", "mpjit")),
-    ("calc", 513, 4, ("vector", "jit", "mpjit")),
-    ("filter", 512, 4, ("vector", "jit", "mpjit")),
-]
-
-
-def run_bench(smoke: bool, repeat: int, verbose: bool = True) -> dict:
-    configs = SMOKE_CONFIGS + ([] if smoke else FULL_CONFIGS)
-    entries = []
-    # A fresh, private jit cache so every run measures a true cold first
-    # compile — a warm leftover from yesterday would fake cold_seconds.
-    cache_dir = tempfile.TemporaryDirectory(prefix="repro-bench-jit-")
-    saved_env = os.environ.get(ENV_CACHE_DIR)
-    os.environ[ENV_CACHE_DIR] = cache_dir.name
-    reset_default_cache()
-    try:
-        return _run_configs(configs, repeat, verbose, entries)
-    finally:
-        if saved_env is None:
-            os.environ.pop(ENV_CACHE_DIR, None)
-        else:
-            os.environ[ENV_CACHE_DIR] = saved_env
-        reset_default_cache()
-        cache_dir.cleanup()
-
-
-def _run_configs(configs, repeat: int, verbose: bool, entries: list) -> dict:
-    for kernel, n, procs, backends in configs:
-        for backend in backends:
-            # The interpreter is slow by design; one round is plenty.
-            reps = 1 if backend == "interp" else repeat
-            record = measure_kernel(kernel, backend, n=n, procs=procs,
-                                    repeat=reps)
-            entries.append(record)
-            if verbose:
-                print(f"  {kernel:8s} {backend:6s} n={n:<4d} P={procs} "
-                      f"{record['seconds']:10.6f}s  "
-                      f"cold {record['cold_seconds']:.6f}s "
-                      f"warm {record['warm_seconds']:.6f}s  "
-                      f"{record['checksum']}")
-    return {
-        "version": 3,
-        "python": platform.python_version(),
-        # Recorded so perf floors can be conditioned on parallel hardware
-        # (a floor with "min_cpus" is skipped on smaller machines).
-        "cpu_count": os.cpu_count(),
-        "calibration_seconds": round(calibrate(), 6),
-        "entries": entries,
-    }
+RESULTS_ROOT = Path(__file__).parent / "results"
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default=str(Path(__file__).parent / "out"
-                                             / "BENCH_fastexec.json"))
+    parser.add_argument("--out", default=None,
+                        help="also write the flat telemetry JSON here "
+                             "(the committed-baseline shape)")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny shapes only (the CI configuration)")
-    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="samples per config (all are recorded)")
+    parser.add_argument("--results-root", default=str(RESULTS_ROOT),
+                        help="where immutable <run_id>/ dirs accumulate")
+    parser.add_argument("--no-results", action="store_true",
+                        help="skip the run directory (flat --out only)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="count repeats slower than this as deadline "
+                             "misses in the telemetry")
     args = parser.parse_args(argv)
-    payload = run_bench(smoke=args.smoke, repeat=args.repeat)
-    out = Path(args.out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out} ({len(payload['entries'])} entries, "
-          f"calibration {payload['calibration_seconds']}s)")
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    payload = run_suite(smoke=args.smoke, repeat=args.repeat,
+                        deadline_seconds=deadline)
+    if not args.no_results:
+        run_dir = write_run(payload, root=Path(args.results_root))
+        payload = json.loads((run_dir / "telemetry.json").read_text())
+        print(f"wrote {run_dir} ({len(payload['entries'])} entries, "
+              f"calibration {payload['calibration_seconds']}s)")
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
     return 0
 
 

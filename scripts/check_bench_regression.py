@@ -1,48 +1,65 @@
 #!/usr/bin/env python
 """Gate CI on the fastexec benchmark: correctness and performance.
 
-Compares a freshly produced ``BENCH_fastexec.json`` (see
-``benchmarks/bench_fastexec.py``) against the committed baseline and exits
-non-zero when:
+Compares a fresh benchmark run — an immutable ``benchmarks/results/
+<run_id>/`` directory, a results root (the newest run inside is used), or
+a flat telemetry JSON — against the committed baseline and exits non-zero
+when:
 
 * any shared entry's **checksum** differs — the backends are deterministic
   and IEEE-754 arithmetic is machine-independent, so a checksum change
-  means an execution-semantics change, never noise;
+  means an execution-semantics change, never noise.  Checksum failures
+  are always hard failures;
 * a **speedup floor** is violated — the baseline lists required
   fast-vs-reference ratios (e.g. ``vector`` at least 30x faster than
-  ``interp`` on jacobi).  Both sides of a ratio come from the *uploaded*
-  file, so floors are immune to machine-speed differences.  A floor may
+  ``interp`` on jacobi).  Both sides of a ratio come from the *fresh*
+  run, so floors are immune to machine-speed differences.  A floor may
   name a ``metric`` other than ``seconds`` (e.g. ``warm_seconds`` to
   compare steady states) and may carry ``min_cpus``: a parallel-hardware
-  requirement (e.g. mpjit must beat warm serial jit *on a multi-core
-  host*) that is skipped, with a note, when the measuring machine's
+  requirement that is skipped, with a note, when the measuring machine's
   recorded ``cpu_count`` is smaller;
 * a **geomean floor** is violated — the baseline can require that one
   backend beat another by a factor *in geometric mean across every kernel
-  they share* (e.g. warm ``jit`` at least 1.3x faster than ``vector`` on
-  ``warm_seconds``).  Again both sides come from the fresh file;
-* a shared entry shows a **wall-clock slowdown of more than 25 %** (the
-  ``--tolerance``) after rescaling the baseline by the two files'
-  pure-Python calibration ratio.  Entries whose scaled baseline time is
-  below ``--min-seconds`` are checked for checksums only — micro-times are
-  all noise.
+  they share* (e.g. warm ``jit`` at least 1.3x faster than ``vector``);
+* a shared entry shows a **median slowdown of more than 25 %** (the
+  ``--tolerance``) after rescaling the baseline by the two runs'
+  pure-Python calibration ratio.  Both sides are **medians over the
+  per-repeat samples** (never a single number), so one scheduler hiccup
+  cannot fail — or excuse — a run.  Entries whose scaled baseline median
+  is below ``--min-seconds`` are checked for checksums only.
+
+Noise is measured, not guessed: every entry's **jitter** (IQR/median over
+its samples) is reported, and a *performance* failure whose entries are
+jittier than ``--jitter-threshold`` is downgraded to a flagged warning —
+the run still passes, but the report names the config so a human (or the
+weekly full run) can follow up.  Checksum failures are never downgraded.
 
 Every failing entry is reported (the checker never stops at the first),
 and the exit code tells CI *what kind* of failure happened:
 
-* 0 — all checks passed
+* 0 — all checks passed (flagged warnings do not change the exit code)
 * 1 — structural problem (no overlapping entries, or refusing --update)
 * 2 — bench/baseline file missing
 * 3 — checksum (correctness) failures only
 * 4 — performance failures only (floors, geomeans, slowdowns)
 * 5 — both checksum and performance failures
 
-CI runs exactly this command; run it locally the same way:
+Reports: ``--json PATH`` writes a machine-readable report
+(``repro-bench-gate/1``), ``--markdown PATH`` appends a human-readable
+table — CI points it at ``$GITHUB_STEP_SUMMARY``.  Either accepts ``-``
+for stdout.
 
-    python benchmarks/bench_fastexec.py --smoke --out BENCH_fastexec.json
-    python scripts/check_bench_regression.py --bench BENCH_fastexec.json
+``--compare RUN_A RUN_B`` diffs two runs directly (medians, jitter,
+checksum drift) with no baseline involved — the local before/after
+workflow, and the CI step that runs the smoke bench twice and asserts
+zero checksum drift.  Exit codes keep their meaning (3 on drift).
 
-``--update`` rewrites the baseline from the fresh file (preserving the
+CI runs exactly this; run it locally the same way:
+
+    python benchmarks/bench_fastexec.py --smoke
+    python scripts/check_bench_regression.py --bench benchmarks/results
+
+``--update`` rewrites the baseline from the fresh run (preserving the
 floors sections) after you have verified an intentional change.
 """
 
@@ -53,6 +70,10 @@ import json
 import math
 import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.store import read_run  # noqa: E402
 
 REPO = Path(__file__).resolve().parent.parent
 DEFAULT_BASELINE = REPO / "benchmarks" / "BENCH_fastexec.json"
@@ -65,6 +86,9 @@ EXIT_PERF = 4
 EXIT_BOTH = 5
 
 CATEGORIES = ("structure", "checksum", "perf")
+FLAGGED = "flagged"
+REPORT_SCHEMA = "repro-bench-gate/1"
+DEFAULT_JITTER_THRESHOLD = 0.35
 
 
 def _key(entry: dict) -> tuple:
@@ -75,6 +99,50 @@ def _index(payload: dict) -> dict[tuple, dict]:
     return {_key(e): e for e in payload.get("entries", [])}
 
 
+def _median(values) -> float:
+    data = sorted(values)
+    mid = len(data) // 2
+    if len(data) % 2:
+        return data[mid]
+    return (data[mid - 1] + data[mid]) / 2.0
+
+
+def metric_value(entry: dict, metric: str = "seconds"):
+    """The gate's value for one entry: the **median over samples** when
+    samples are recorded, falling back to the pre-aggregated field for
+    legacy single-number entries."""
+    if metric == "seconds":
+        if entry.get("median_seconds") is not None:
+            return entry["median_seconds"]
+        samples = entry.get("samples")
+        if samples:
+            return _median(s["seconds"] for s in samples)
+        return entry.get("seconds")
+    if metric == "warm_seconds":
+        if entry.get("warm_median_seconds") is not None:
+            return entry["warm_median_seconds"]
+        return entry.get("warm_seconds")
+    return entry.get(metric)
+
+
+def entry_jitter(entry: dict):
+    """IQR/median over the entry's samples (None when unmeasurable)."""
+    if entry.get("jitter") is not None:
+        return entry["jitter"]
+    samples = [s["seconds"] for s in entry.get("samples", [])]
+    if len(samples) < 2:
+        return None
+    data = sorted(samples)
+
+    def pct(q):
+        pos = (q / 100.0) * (len(data) - 1)
+        lo, hi = math.floor(pos), math.ceil(pos)
+        return data[lo] + (data[hi] - data[lo]) * (pos - lo)
+
+    med = pct(50)
+    return round((pct(75) - pct(25)) / med, 4) if med > 0 else None
+
+
 def _lacks_cpus(floor: dict, bench_cpus) -> bool:
     """True when a floor demands more cores than the measuring machine has
     (or the bench file predates cpu_count recording)."""
@@ -82,16 +150,56 @@ def _lacks_cpus(floor: dict, bench_cpus) -> bool:
     return bool(need) and (not bench_cpus or bench_cpus < need)
 
 
-def check(bench: dict, baseline: dict, tolerance: float,
-          min_seconds: float) -> tuple[dict[str, list[str]], list[str]]:
+def calibration_scale(bench: dict, baseline: dict) -> float:
+    base_cal = baseline.get("calibration_seconds") or 0.0
+    fresh_cal = bench.get("calibration_seconds") or 0.0
+    return (fresh_cal / base_cal) if base_cal > 0 and fresh_cal > 0 else 1.0
+
+
+def _perf_fail(failures: dict, message: str, jittery: bool,
+               threshold: float) -> None:
+    """File a perf failure, or downgrade it to a flagged warning when the
+    entries involved are noisier than the jitter threshold."""
+    if jittery:
+        failures[FLAGGED].append(
+            f"{message} [downgraded: jitter > {threshold} or single-sample]")
+    else:
+        failures["perf"].append(message)
+
+
+def _jittery(threshold: float, *entries) -> bool:
+    """Whether a perf failure involving ``entries`` should be downgraded.
+
+    True when any entry's measured jitter exceeds the threshold, or when
+    an entry records only a single sample — one sample cannot distinguish
+    noise from regression, so it cannot *hard*-fail a median gate.
+    Legacy entries (no ``samples`` at all) keep the historical hard-fail
+    behavior.
+    """
+    for entry in entries:
+        jitter = entry_jitter(entry)
+        if jitter is not None:
+            if jitter > threshold:
+                return True
+        elif len(entry.get("samples", ())) == 1:
+            return True
+    return False
+
+
+def check(bench: dict, baseline: dict, tolerance: float, min_seconds: float,
+          jitter_threshold: float = DEFAULT_JITTER_THRESHOLD,
+          ) -> tuple[dict[str, list[str]], list[str]]:
     """Return (failures by category, notes).
 
     Categories are ``structure`` (the comparison itself is impossible),
-    ``checksum`` (correctness) and ``perf`` (floors, geomean floors and
-    calibration-scaled slowdowns).  All failing entries are collected —
-    one bad checksum never hides the next.
+    ``checksum`` (correctness), ``perf`` (floors, geomean floors and
+    calibration-scaled median slowdowns) and ``flagged`` (perf failures
+    downgraded because the entries involved exceed the jitter
+    threshold; never counted toward the exit code).  All failing entries
+    are collected — one bad checksum never hides the next.
     """
     failures: dict[str, list[str]] = {cat: [] for cat in CATEGORIES}
+    failures[FLAGGED] = []
     notes: list[str] = []
     fresh = _index(bench)
     base = _index(baseline)
@@ -106,7 +214,7 @@ def check(bench: dict, baseline: dict, tolerance: float,
     for key in sorted(set(fresh) - set(base)):
         notes.append(f"new entry without baseline: {key}")
 
-    # 1. Checksums: exact, machine-independent.
+    # 1. Checksums: exact, machine-independent, never downgraded.
     for key in shared:
         got, want = fresh[key]["checksum"], base[key]["checksum"]
         if got != want:
@@ -114,7 +222,7 @@ def check(bench: dict, baseline: dict, tolerance: float,
                 f"checksum mismatch for {key}: {got} != {want}"
             )
 
-    # 2. Speedup floors, measured entirely within the fresh file.
+    # 2. Speedup floors, measured entirely within the fresh run.
     bench_cpus = bench.get("cpu_count")
     for floor in baseline.get("floors", []):
         if _lacks_cpus(floor, bench_cpus):
@@ -133,19 +241,22 @@ def check(bench: dict, baseline: dict, tolerance: float,
             notes.append(f"floor not measurable in this run (skipped): "
                          f"{floor['kernel']} {floor['shape']}")
             continue
-        fast_s = fresh[fast_key].get(metric)
-        slow_s = fresh[slow_key].get(metric)
+        fast_s = metric_value(fresh[fast_key], metric)
+        slow_s = metric_value(fresh[slow_key], metric)
         if not fast_s or not slow_s:
             notes.append(f"floor pair lacks {metric!r} (skipped): "
                          f"{floor['kernel']} [{floor['shape']}]")
             continue
         speedup = slow_s / fast_s
         if speedup < floor["min_speedup"]:
-            failures["perf"].append(
+            _perf_fail(
+                failures,
                 f"speedup floor violated for {floor['kernel']} "
                 f"[{floor['shape']}]: {floor['fast']} is only "
                 f"{speedup:.1f}x faster than {floor['slow']} on {metric} "
-                f"(required {floor['min_speedup']}x)"
+                f"(required {floor['min_speedup']}x)",
+                _jittery(jitter_threshold, fresh[fast_key], fresh[slow_key]),
+                jitter_threshold,
             )
         else:
             notes.append(
@@ -165,6 +276,7 @@ def check(bench: dict, baseline: dict, tolerance: float,
             continue
         metric = floor.get("metric", "seconds")
         ratios = []
+        contributors = []
         for key in fresh:
             kernel, backend, shape, procs = key
             if backend != floor["fast"]:
@@ -172,13 +284,14 @@ def check(bench: dict, baseline: dict, tolerance: float,
             slow_key = (kernel, floor["slow"], shape, procs)
             if slow_key not in fresh:
                 continue
-            fast_v = fresh[key].get(metric)
-            slow_v = fresh[slow_key].get(metric)
+            fast_v = metric_value(fresh[key], metric)
+            slow_v = metric_value(fresh[slow_key], metric)
             if not fast_v or not slow_v:
                 notes.append(f"geomean pair lacks {metric!r} (skipped): "
                              f"{kernel} [{shape}]")
                 continue
             ratios.append(slow_v / fast_v)
+            contributors.extend((fresh[key], fresh[slow_key]))
         if not ratios:
             notes.append(
                 f"geomean floor not measurable in this run (skipped): "
@@ -187,11 +300,16 @@ def check(bench: dict, baseline: dict, tolerance: float,
             continue
         geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
         if geomean < floor["min_speedup"]:
-            failures["perf"].append(
+            jitters = [entry_jitter(e) or 0.0 for e in contributors]
+            mean_jitter = sum(jitters) / len(jitters)
+            _perf_fail(
+                failures,
                 f"geomean floor violated: {floor['fast']} is only "
                 f"{geomean:.2f}x faster than {floor['slow']} on {metric} "
                 f"across {len(ratios)} kernels "
-                f"(required {floor['min_speedup']}x)"
+                f"(required {floor['min_speedup']}x)",
+                mean_jitter > jitter_threshold,
+                jitter_threshold,
             )
         else:
             notes.append(
@@ -200,27 +318,61 @@ def check(bench: dict, baseline: dict, tolerance: float,
                 f"(>= {floor['min_speedup']}x)"
             )
 
-    # 4. Wall-clock regression, calibration-scaled.
-    base_cal = baseline.get("calibration_seconds") or 0.0
-    fresh_cal = bench.get("calibration_seconds") or 0.0
-    scale = (fresh_cal / base_cal) if base_cal > 0 and fresh_cal > 0 else 1.0
+    # 4. Median slowdown, calibration-scaled.
+    scale = calibration_scale(bench, baseline)
     notes.append(f"calibration scale {scale:.2f} "
-                 f"(baseline {base_cal}s, this machine {fresh_cal}s)")
+                 f"(baseline {baseline.get('calibration_seconds')}s, "
+                 f"this machine {bench.get('calibration_seconds')}s)")
     for key in shared:
-        allowed = base[key]["seconds"] * scale
+        base_median = metric_value(base[key])
+        if base_median is None:
+            continue
+        allowed = base_median * scale
         if allowed < min_seconds:
             continue
-        got = fresh[key]["seconds"]
-        if got > allowed * (1.0 + tolerance):
-            failures["perf"].append(
-                f"slowdown for {key}: {got:.4f}s vs allowed "
-                f"{allowed:.4f}s (+{tolerance:.0%})"
+        got = metric_value(fresh[key])
+        if got is not None and got > allowed * (1.0 + tolerance):
+            _perf_fail(
+                failures,
+                f"median slowdown for {key}: {got:.4f}s vs allowed "
+                f"{allowed:.4f}s (+{tolerance:.0%})",
+                _jittery(jitter_threshold, fresh[key]),
+                jitter_threshold,
+            )
+    return failures, notes
+
+
+def compare(run_a: dict, run_b: dict,
+            jitter_threshold: float = DEFAULT_JITTER_THRESHOLD,
+            ) -> tuple[dict[str, list[str]], list[str]]:
+    """Diff two runs directly: checksum drift is a failure, median
+    movement is informational (the runs are peers — neither is a
+    committed baseline)."""
+    failures: dict[str, list[str]] = {cat: [] for cat in CATEGORIES}
+    failures[FLAGGED] = []
+    notes: list[str] = []
+    a, b = _index(run_a), _index(run_b)
+    shared = sorted(set(a) & set(b))
+    if not shared:
+        failures["structure"].append("the two runs share no entries")
+    for key in shared:
+        if a[key]["checksum"] != b[key]["checksum"]:
+            failures["checksum"].append(
+                f"checksum drift for {key}: "
+                f"{a[key]['checksum']} != {b[key]['checksum']}"
+            )
+        med_a, med_b = metric_value(a[key]), metric_value(b[key])
+        if med_a and med_b:
+            notes.append(
+                f"{key}: median {med_a:.6f}s -> {med_b:.6f}s "
+                f"({med_b / med_a:.2f}x)"
             )
     return failures, notes
 
 
 def exit_code(failures: dict[str, list[str]]) -> int:
-    """Map categorized failures to the documented exit code."""
+    """Map categorized failures to the documented exit code (flagged
+    warnings never fail the gate)."""
     if failures.get("structure"):
         return EXIT_STRUCTURE
     bad_sum = bool(failures.get("checksum"))
@@ -234,32 +386,238 @@ def exit_code(failures: dict[str, list[str]]) -> int:
     return EXIT_OK
 
 
+def _run_meta(payload: dict) -> dict:
+    return {field: payload.get(field)
+            for field in ("run_id", "created_utc", "git_sha", "python",
+                          "cpu_count", "calibration_seconds")}
+
+
+def config_rows(bench: dict, baseline: dict, scale: float) -> list[dict]:
+    """Per-config comparison rows for the report (gate mode)."""
+    fresh, base = _index(bench), _index(baseline)
+    rows = []
+    for key in sorted(fresh):
+        entry = fresh[key]
+        base_entry = base.get(key)
+        base_median = metric_value(base_entry) if base_entry else None
+        row = {
+            "kernel": key[0], "backend": key[1], "shape": key[2],
+            "procs": key[3],
+            "samples": len(entry.get("samples", [])) or 1,
+            "median_seconds": metric_value(entry),
+            "baseline_median_seconds": base_median,
+            "allowed_seconds": (round(base_median * scale, 6)
+                                if base_median is not None else None),
+            "jitter": entry_jitter(entry),
+            "p95_seconds": entry.get("p95_seconds"),
+            "p99_seconds": entry.get("p99_seconds"),
+            "deadline_misses": entry.get("deadline_misses", 0),
+            "checksum_ok": (base_entry is None
+                            or entry["checksum"] == base_entry["checksum"]),
+        }
+        rows.append(row)
+    return rows
+
+
+def compare_rows(run_a: dict, run_b: dict) -> list[dict]:
+    a, b = _index(run_a), _index(run_b)
+    rows = []
+    for key in sorted(set(a) | set(b)):
+        ea, eb = a.get(key), b.get(key)
+        med_a = metric_value(ea) if ea else None
+        med_b = metric_value(eb) if eb else None
+        rows.append({
+            "kernel": key[0], "backend": key[1], "shape": key[2],
+            "procs": key[3],
+            "median_seconds_a": med_a,
+            "median_seconds_b": med_b,
+            "ratio": (round(med_b / med_a, 3)
+                      if med_a and med_b else None),
+            "jitter_a": entry_jitter(ea) if ea else None,
+            "jitter_b": entry_jitter(eb) if eb else None,
+            "checksum_ok": (ea is not None and eb is not None
+                            and ea["checksum"] == eb["checksum"]),
+        })
+    return rows
+
+
+def build_report(mode: str, failures: dict, notes: list[str],
+                 rows: list[dict], *, args, scale=None,
+                 bench_meta=None, baseline_meta=None) -> dict:
+    code = exit_code(failures)
+    return {
+        "schema": REPORT_SCHEMA,
+        "mode": mode,
+        "exit_code": code,
+        "passed": code == EXIT_OK,
+        "tolerance": args.tolerance,
+        "min_seconds": args.min_seconds,
+        "jitter_threshold": args.jitter_threshold,
+        "calibration_scale": scale,
+        "bench": bench_meta,
+        "baseline": baseline_meta,
+        "failures": {cat: failures[cat] for cat in CATEGORIES},
+        "flagged": failures.get(FLAGGED, []),
+        "notes": notes,
+        "configs": rows,
+    }
+
+
+def _fmt(value, spec="{:.6f}") -> str:
+    return spec.format(value) if value is not None else "-"
+
+
+def render_markdown(report: dict) -> str:
+    """A CI-step-summary-ready report."""
+    status = "✅ passed" if report["passed"] else "❌ FAILED"
+    lines = [
+        f"## Benchmark {report['mode']} — {status} "
+        f"(exit {report['exit_code']})",
+        "",
+    ]
+    bench = report.get("bench") or {}
+    if bench.get("run_id"):
+        lines.append(f"run `{bench['run_id']}` @ `{bench.get('git_sha')}` "
+                     f"(python {bench.get('python')}, "
+                     f"{bench.get('cpu_count')} cpus)")
+        lines.append("")
+    if report["mode"] == "gate":
+        if report.get("calibration_scale") is not None:
+            lines.append(f"calibration scale "
+                         f"{report['calibration_scale']:.2f}, tolerance "
+                         f"{report['tolerance']:.0%}, jitter threshold "
+                         f"{report['jitter_threshold']}")
+            lines.append("")
+        lines += [
+            "| kernel | backend | shape | P | samples | median (s) | "
+            "allowed (s) | jitter | p95 (s) | checksum |",
+            "|---|---|---|---|---|---|---|---|---|---|",
+        ]
+        for row in report["configs"]:
+            lines.append(
+                f"| {row['kernel']} | {row['backend']} | {row['shape']} "
+                f"| {row['procs']} | {row['samples']} "
+                f"| {_fmt(row['median_seconds'])} "
+                f"| {_fmt(row['allowed_seconds'])} "
+                f"| {_fmt(row['jitter'], '{:.3f}')} "
+                f"| {_fmt(row['p95_seconds'])} "
+                f"| {'✅' if row['checksum_ok'] else '❌'} |"
+            )
+    else:
+        lines += [
+            "| kernel | backend | shape | P | median A (s) | median B (s) "
+            "| B/A | jitter A | jitter B | checksum |",
+            "|---|---|---|---|---|---|---|---|---|---|",
+        ]
+        for row in report["configs"]:
+            lines.append(
+                f"| {row['kernel']} | {row['backend']} | {row['shape']} "
+                f"| {row['procs']} | {_fmt(row['median_seconds_a'])} "
+                f"| {_fmt(row['median_seconds_b'])} "
+                f"| {_fmt(row['ratio'], '{:.2f}')} "
+                f"| {_fmt(row['jitter_a'], '{:.3f}')} "
+                f"| {_fmt(row['jitter_b'], '{:.3f}')} "
+                f"| {'✅' if row['checksum_ok'] else '❌'} |"
+            )
+    lines.append("")
+    for cat in CATEGORIES:
+        for failure in report["failures"][cat]:
+            lines.append(f"- ❌ **{cat}**: {failure}")
+    for warning in report["flagged"]:
+        lines.append(f"- ⚠️ flagged (not failing): {warning}")
+    if report["notes"]:
+        lines += ["", "<details><summary>notes</summary>", ""]
+        lines += [f"- {note}" for note in report["notes"]]
+        lines += ["", "</details>"]
+    return "\n".join(lines) + "\n"
+
+
+def _emit(text: str, target: str, append: bool = False) -> None:
+    if target == "-":
+        print(text)
+        return
+    mode = "a" if append else "w"
+    with open(target, mode, encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _load(path: Path, what: str):
+    try:
+        return read_run(path)
+    except (FileNotFoundError, NotADirectoryError):
+        print(f"error: {what} not found: {path}", file=sys.stderr)
+        return None
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", required=True,
-                        help="freshly produced BENCH_fastexec.json")
+    parser.add_argument("--bench", default=None,
+                        help="fresh run: a results root, a run dir, or a "
+                             "flat telemetry JSON")
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--compare", nargs=2, metavar=("RUN_A", "RUN_B"),
+                        default=None,
+                        help="diff two runs instead of gating against the "
+                             "baseline (checksum drift fails, medians are "
+                             "reported)")
     parser.add_argument("--tolerance", type=float, default=0.25,
-                        help="allowed fractional slowdown (default 0.25)")
+                        help="allowed fractional median slowdown "
+                             "(default 0.25)")
     parser.add_argument("--min-seconds", type=float, default=0.05,
-                        help="scaled baseline times below this are "
+                        help="scaled baseline medians below this are "
                              "checksum-checked only")
+    parser.add_argument("--jitter-threshold", type=float,
+                        default=DEFAULT_JITTER_THRESHOLD,
+                        help="IQR/median above which perf failures are "
+                             "downgraded to flagged warnings "
+                             f"(default {DEFAULT_JITTER_THRESHOLD})")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable report "
+                             "('-' for stdout)")
+    parser.add_argument("--markdown", default=None, metavar="PATH",
+                        help="append the markdown report (point CI at "
+                             "$GITHUB_STEP_SUMMARY; '-' for stdout)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from --bench")
     args = parser.parse_args(argv)
 
-    bench_path = Path(args.bench)
-    baseline_path = Path(args.baseline)
-    for path, what in ((bench_path, "bench file"), (baseline_path, "baseline")):
-        if not path.is_file():
-            print(f"error: {what} not found: {path}", file=sys.stderr)
+    if args.compare:
+        run_a = _load(Path(args.compare[0]), "run A")
+        run_b = _load(Path(args.compare[1]), "run B")
+        if run_a is None or run_b is None:
             return EXIT_MISSING
-    bench = json.loads(bench_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
+        failures, notes = compare(run_a, run_b, args.jitter_threshold)
+        report = build_report(
+            "compare", failures, notes, compare_rows(run_a, run_b),
+            args=args, bench_meta=_run_meta(run_a),
+            baseline_meta=_run_meta(run_b),
+        )
+        bench = None
+    else:
+        if not args.bench:
+            parser.error("one of --bench or --compare is required")
+        bench = _load(Path(args.bench), "bench run")
+        baseline = _load(Path(args.baseline), "baseline")
+        if bench is None or baseline is None:
+            return EXIT_MISSING
+        failures, notes = check(bench, baseline, args.tolerance,
+                                args.min_seconds, args.jitter_threshold)
+        scale = calibration_scale(bench, baseline)
+        report = build_report(
+            "gate", failures, notes, config_rows(bench, baseline, scale),
+            args=args, scale=round(scale, 4), bench_meta=_run_meta(bench),
+            baseline_meta=_run_meta(baseline),
+        )
 
-    failures, notes = check(bench, baseline, args.tolerance, args.min_seconds)
+    if args.json:
+        _emit(json.dumps(report, indent=2, sort_keys=True) + "\n", args.json)
+    if args.markdown:
+        _emit(render_markdown(report), args.markdown, append=True)
+
     for note in notes:
         print(f"note: {note}")
+    for warning in failures[FLAGGED]:
+        print(f"WARN[jitter]: {warning}")
     total = 0
     for cat in CATEGORIES:
         for failure in failures[cat]:
@@ -267,9 +625,13 @@ def main(argv=None) -> int:
             total += 1
 
     if args.update:
+        if args.compare:
+            print("--update is meaningless with --compare", file=sys.stderr)
+            return EXIT_STRUCTURE
         if total:
             print("refusing to --update while checks fail", file=sys.stderr)
             return EXIT_STRUCTURE
+        baseline_path = Path(args.baseline)
         bench["floors"] = baseline.get("floors", [])
         bench["geomean_floors"] = baseline.get("geomean_floors", [])
         baseline_path.write_text(
@@ -286,7 +648,9 @@ def main(argv=None) -> int:
               f"{sum(1 for _ in failures['structure'])} structural)",
               file=sys.stderr)
         return exit_code(failures)
-    print("benchmark checks passed")
+    suffix = (f" ({len(failures[FLAGGED])} perf warning(s) flagged for "
+              f"jitter)" if failures[FLAGGED] else "")
+    print(f"benchmark checks passed{suffix}")
     return EXIT_OK
 
 

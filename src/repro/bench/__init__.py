@@ -1,0 +1,44 @@
+"""Benchmark telemetry and trajectory subsystem.
+
+Replaces the ad-hoc single-file benchmark artifact with an immutable
+*trajectory*: every harness run writes a ``benchmarks/results/<run_id>/``
+directory containing ``telemetry.json`` (per-repeat samples for every
+(kernel, shape, backend) config plus a machine/config snapshot) and
+``summary.csv``, and appends one line to ``trajectory.jsonl`` so
+successive runs form a comparable series.
+
+Layout:
+
+* :mod:`repro.bench.telemetry` — the telemetry schema: per-sample
+  statistics (median, IQR, jitter, p50/p95/p99, deadline misses) and the
+  machine snapshot.  No repro imports; safe to use from anywhere.
+* :mod:`repro.bench.store` — the immutable run-directory store and the
+  ``trajectory.jsonl`` index.
+* :mod:`repro.bench.harness` — runs the fastexec suite through
+  :mod:`repro.runtime.benchmarking` and produces a telemetry payload.
+
+``harness`` is deliberately *not* imported here: it imports the runtime,
+and the runtime imports :mod:`repro.bench.telemetry` to aggregate
+per-repeat samples — importing the harness eagerly would make that a
+cycle.  Import it explicitly: ``from repro.bench.harness import
+run_suite``.
+"""
+
+from .store import (  # noqa: F401
+    TRAJECTORY_NAME,
+    append_trajectory,
+    latest_run,
+    list_runs,
+    read_run,
+    read_trajectory,
+    write_run,
+)
+from .telemetry import (  # noqa: F401
+    SCHEMA,
+    git_sha,
+    machine_snapshot,
+    percentile,
+    summarize_samples,
+    summary_csv,
+    trajectory_line,
+)

@@ -1,0 +1,104 @@
+"""The fastexec benchmark harness: configs → telemetry payload.
+
+This is the engine behind ``python -m repro bench`` and
+``benchmarks/bench_fastexec.py``: it runs the fixed (kernel, shape,
+procs, backends) suite through :func:`repro.runtime.benchmarking.
+measure_kernel` under an isolated jit cache and returns a telemetry
+payload (see :mod:`repro.bench.telemetry`) ready for
+:func:`repro.bench.store.write_run`.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, Optional
+
+from ..runtime.benchmarking import calibrate, measure_kernel
+from ..runtime.plancache import ENV_CACHE_DIR, reset_default_cache
+from .telemetry import machine_snapshot
+
+# (kernel, n, procs, backends) — smoke tier runs everywhere, full tier adds
+# the paper-size shapes.  Checksums are machine-independent, so the smoke
+# entries force the pooled-parallel execution on a multi-core CI host to
+# reproduce the bits a single-core machine committed (and vice versa).
+SMOKE_CONFIGS = [
+    ("jacobi", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
+    ("ll18", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
+    ("filter", 65, 4, ("interp", "vector", "jit", "mpjit")),
+    ("calc", 65, 4, ("interp", "vector", "jit", "mpjit")),
+    ("jacobi", 255, 4, ("interp", "vector", "jit", "mpjit")),
+    ("jacobi", 255, 1, ("vector", "jit")),
+]
+FULL_CONFIGS = [
+    ("jacobi", 511, 4, ("interp", "vector", "mp", "jit", "mpjit")),
+    ("ll18", 511, 4, ("vector", "jit", "mpjit")),
+    ("calc", 513, 4, ("vector", "jit", "mpjit")),
+    ("filter", 512, 4, ("vector", "jit", "mpjit")),
+]
+
+
+def run_suite(
+    smoke: bool = True,
+    repeat: int = 3,
+    deadline_seconds: Optional[float] = None,
+    progress: Optional[Callable[[str], None]] = print,
+) -> dict:
+    """Run the suite and return the telemetry payload (not yet stored).
+
+    Every config keeps all ``repeat`` samples (the interpreter runs once
+    — it is slow by design and only anchors speedup floors).  A fresh,
+    private jit cache makes the first repeat a true cold compile — a
+    warm leftover from yesterday would fake ``cold_seconds``.
+    """
+    configs = SMOKE_CONFIGS + ([] if smoke else FULL_CONFIGS)
+    cache_dir = tempfile.TemporaryDirectory(prefix="repro-bench-jit-")
+    saved_env = os.environ.get(ENV_CACHE_DIR)
+    os.environ[ENV_CACHE_DIR] = cache_dir.name
+    reset_default_cache()
+    try:
+        entries = _run_configs(configs, repeat, deadline_seconds, progress)
+    finally:
+        if saved_env is None:
+            os.environ.pop(ENV_CACHE_DIR, None)
+        else:
+            os.environ[ENV_CACHE_DIR] = saved_env
+        reset_default_cache()
+        cache_dir.cleanup()
+    payload = machine_snapshot()
+    payload.update({
+        "calibration_seconds": round(calibrate(), 6),
+        "cache_state": {"jit_cache": "isolated-cold"},
+        "suite": {
+            "smoke": smoke,
+            "repeat": repeat,
+            "deadline_seconds": deadline_seconds,
+            "configs": len(configs),
+        },
+        "entries": entries,
+    })
+    return payload
+
+
+def _run_configs(configs, repeat, deadline_seconds, progress) -> list[dict]:
+    entries = []
+    for kernel, n, procs, backends in configs:
+        for backend in backends:
+            # The interpreter is slow by design; one round is plenty.
+            reps = 1 if backend == "interp" else repeat
+            record = measure_kernel(kernel, backend, n=n, procs=procs,
+                                    repeat=reps,
+                                    deadline_seconds=deadline_seconds)
+            entries.append(record)
+            if progress is not None:
+                jitter = record.get("jitter")
+                progress(
+                    f"  {kernel:8s} {backend:6s} n={n:<4d} P={procs} "
+                    f"median {record['median_seconds']:10.6f}s "
+                    f"(best {record['seconds']:.6f}s, "
+                    f"jitter {jitter if jitter is not None else '-'})  "
+                    f"cold {record['cold_seconds']:.6f}s "
+                    f"warm {record['warm_seconds']:.6f}s  "
+                    f"{record['checksum']}"
+                )
+    return entries

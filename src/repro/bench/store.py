@@ -1,0 +1,135 @@
+"""Immutable run-directory store and the trajectory index.
+
+Every benchmark run becomes one ``<results_root>/<run_id>/`` directory::
+
+    benchmarks/results/
+      trajectory.jsonl                  # one line per run, append-only
+      20260809T120301Z-ab12cd3-01/
+        telemetry.json                  # full payload, per-repeat samples
+        summary.csv                     # per-config aggregates
+      20260809T120344Z-ab12cd3-02/
+        ...
+
+Run directories are **immutable**: they are assembled in a temp
+directory, their files are made read-only, and the directory is moved
+into place with a single rename — a second run can never rewrite an
+existing ``run_id`` (id collisions pick a fresh sequence number instead).
+The results root is created on demand; it is scratch from git's point of
+view (ignored), persistence across CI runs comes from uploading it as an
+artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+from pathlib import Path
+from typing import Optional
+
+from .telemetry import summary_csv, trajectory_line, utc_now
+
+TRAJECTORY_NAME = "trajectory.jsonl"
+TELEMETRY_NAME = "telemetry.json"
+SUMMARY_NAME = "summary.csv"
+
+DEFAULT_RESULTS_ROOT = Path("benchmarks") / "results"
+
+
+def _compact_timestamp(created_utc: str) -> str:
+    return re.sub(r"[^0-9TZ]", "", created_utc)
+
+
+def new_run_id(created_utc: str, git_sha: Optional[str],
+               root: Path) -> str:
+    """A unique ``<utc>-<sha>-<seq>`` id under ``root``."""
+    prefix = f"{_compact_timestamp(created_utc)}-{git_sha or 'nogit'}"
+    seq = 1
+    while (root / f"{prefix}-{seq:02d}").exists():
+        seq += 1
+    return f"{prefix}-{seq:02d}"
+
+
+def write_run(payload: dict, root: Path = DEFAULT_RESULTS_ROOT,
+              run_id: Optional[str] = None) -> Path:
+    """Persist one run immutably; returns the new run directory.
+
+    The payload is stamped with its ``run_id`` (an explicit ``run_id`` is
+    honored only while unused — a collision allocates a fresh id rather
+    than ever touching an existing run).  The trajectory index gains one
+    line.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    created = payload.get("created_utc") or utc_now()
+    while True:
+        if run_id and not (root / run_id).exists():
+            rid = run_id
+        else:
+            rid = new_run_id(created, payload.get("git_sha"), root)
+        run_id = None  # an explicit id is only tried once
+        stamped = dict(payload, run_id=rid, created_utc=created)
+        tmp = root / f".tmp-{rid}-{os.getpid()}"
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir()
+        (tmp / TELEMETRY_NAME).write_text(
+            json.dumps(stamped, indent=2, sort_keys=True) + "\n")
+        (tmp / SUMMARY_NAME).write_text(summary_csv(stamped))
+        for name in (TELEMETRY_NAME, SUMMARY_NAME):
+            os.chmod(tmp / name, 0o444)
+        try:
+            os.rename(tmp, root / rid)
+        except OSError:
+            # Lost a race for this id — clean up and pick the next one.
+            shutil.rmtree(tmp, ignore_errors=True)
+            continue
+        break
+    append_trajectory(root, trajectory_line(stamped))
+    return root / rid
+
+
+def append_trajectory(root: Path, line: dict) -> None:
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    with open(root / TRAJECTORY_NAME, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def read_trajectory(root: Path) -> list[dict]:
+    path = Path(root) / TRAJECTORY_NAME
+    if not path.is_file():
+        return []
+    return [json.loads(line) for line in path.read_text().splitlines()
+            if line.strip()]
+
+
+def list_runs(root: Path) -> list[Path]:
+    """Run directories under ``root``, oldest first (ids sort by time)."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(d for d in root.iterdir()
+                  if d.is_dir() and (d / TELEMETRY_NAME).is_file())
+
+
+def latest_run(root: Path) -> Optional[Path]:
+    runs = list_runs(root)
+    return runs[-1] if runs else None
+
+
+def read_run(path: Path) -> dict:
+    """Load a telemetry payload from a run dir, a results root, or a
+    flat JSON file (the legacy ``BENCH_fastexec.json`` shape)."""
+    path = Path(path)
+    if path.is_dir():
+        telemetry = path / TELEMETRY_NAME
+        if not telemetry.is_file():
+            latest = latest_run(path)
+            if latest is None:
+                raise FileNotFoundError(
+                    f"no run directory with {TELEMETRY_NAME} under {path}")
+            telemetry = latest / TELEMETRY_NAME
+        return json.loads(telemetry.read_text())
+    return json.loads(path.read_text())

@@ -1,0 +1,194 @@
+"""Telemetry schema for benchmark runs.
+
+A telemetry payload (``telemetry.json`` inside a run directory) is a
+plain-JSON dict::
+
+    {
+      "schema": "repro-bench-telemetry/1",
+      "version": 4,
+      "run_id": "20260809T120301Z-ab12cd3-01",   # stamped by the store
+      "created_utc": "2026-08-09T12:03:01Z",
+      "git_sha": "ab12cd3",                      # null outside a checkout
+      "python": "3.11.7",
+      "platform": "Linux-...",
+      "cpu_count": 4,
+      "calibration_seconds": 0.19,               # pure-Python proxy speed
+      "cache_state": {"jit_cache": "isolated-cold"},
+      "suite": {"smoke": true, "repeat": 3, "deadline_seconds": null},
+      "entries": [ ... ]
+    }
+
+Each entry describes one (kernel, backend, shape, procs) config and keeps
+**every repeat** as a sample — the regression gate aggregates medians
+itself rather than trusting a single pre-aggregated number::
+
+    {
+      "kernel": "jacobi", "backend": "jit", "shape": "n=65", "procs": 4,
+      "iterations": 7938, "checksum": "142b91d7f4a947cd",
+      "samples": [{"seconds": ..., "plan_seconds": ..., ...}, ...],
+      "seconds": <best>, "median_seconds": ..., "warm_median_seconds": ...,
+      "p50_seconds": ..., "p95_seconds": ..., "p99_seconds": ...,
+      "iqr_seconds": ..., "jitter": <IQR/median or null>,
+      "deadline_seconds": null, "deadline_misses": 0,
+      ... plus the plan/compile/cold/warm/pool fields of
+      repro.runtime.benchmarking.measure_kernel ...
+    }
+
+The tail-latency fields (p50/p95/p99, deadline misses) are the ones the
+planned service benchmarks consume; for the offline suite they summarize
+repeats of one kernel execution.
+
+This module must not import anything from :mod:`repro` outside the
+package — :mod:`repro.runtime.benchmarking` imports it to aggregate its
+per-repeat samples.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+import os
+import platform
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+SCHEMA = "repro-bench-telemetry/1"
+PAYLOAD_VERSION = 4
+
+SUMMARY_COLUMNS = (
+    "kernel", "backend", "shape", "procs", "samples",
+    "median_seconds", "p50_seconds", "p95_seconds", "p99_seconds",
+    "iqr_seconds", "jitter", "best_seconds", "warm_median_seconds",
+    "cold_seconds", "deadline_misses", "checksum",
+)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches numpy's default method without requiring numpy here.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    pos = (q / 100.0) * (len(data) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return data[lo]
+    return data[lo] + (data[hi] - data[lo]) * (pos - lo)
+
+
+def summarize_samples(
+    seconds: Sequence[float],
+    deadline_seconds: Optional[float] = None,
+) -> dict:
+    """Aggregate per-repeat wall-clock samples into the entry statistics.
+
+    ``seconds[0]`` is the cold run (preparation already paid separately);
+    the warm median is taken over the remaining samples when there are
+    any.  ``jitter`` is IQR/median — the gate's noise metric — and is
+    ``None`` when fewer than two samples make spread meaningless.
+    """
+    if not seconds:
+        raise ValueError("no samples to summarize")
+    med = percentile(seconds, 50)
+    iqr = percentile(seconds, 75) - percentile(seconds, 25)
+    warm = list(seconds[1:]) or list(seconds)
+    jitter = round(iqr / med, 4) if (med > 0 and len(seconds) >= 2) else None
+    misses = (
+        sum(1 for s in seconds if s > deadline_seconds)
+        if deadline_seconds is not None else 0
+    )
+    return {
+        "median_seconds": round(med, 6),
+        "warm_median_seconds": round(percentile(warm, 50), 6),
+        "p50_seconds": round(med, 6),
+        "p95_seconds": round(percentile(seconds, 95), 6),
+        "p99_seconds": round(percentile(seconds, 99), 6),
+        "iqr_seconds": round(iqr, 6),
+        "jitter": jitter,
+        "deadline_seconds": deadline_seconds,
+        "deadline_misses": misses,
+    }
+
+
+def git_sha(cwd: Optional[Path] = None) -> Optional[str]:
+    """Short git sha of the surrounding checkout, or None outside one."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd or Path(__file__).parent), capture_output=True,
+            text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def utc_now() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def machine_snapshot() -> dict:
+    """The machine/config facts a run is conditioned on."""
+    return {
+        "schema": SCHEMA,
+        "version": PAYLOAD_VERSION,
+        "created_utc": utc_now(),
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _geomean(values: Iterable[float]) -> Optional[float]:
+    logs = [math.log(v) for v in values if v and v > 0]
+    if not logs:
+        return None
+    return math.exp(sum(logs) / len(logs))
+
+
+def trajectory_line(payload: dict) -> dict:
+    """The one-line-per-run index record appended to trajectory.jsonl."""
+    entries = payload.get("entries", [])
+    medians = [e.get("median_seconds") or e.get("seconds") for e in entries]
+    geo = _geomean(m for m in medians if m)
+    return {
+        "run_id": payload.get("run_id"),
+        "created_utc": payload.get("created_utc"),
+        "git_sha": payload.get("git_sha"),
+        "python": payload.get("python"),
+        "cpu_count": payload.get("cpu_count"),
+        "calibration_seconds": payload.get("calibration_seconds"),
+        "smoke": payload.get("suite", {}).get("smoke"),
+        "entries": len(entries),
+        "geomean_median_seconds": round(geo, 6) if geo else None,
+    }
+
+
+def summary_csv(payload: dict) -> str:
+    """Render the per-config aggregate table (``summary.csv``)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(SUMMARY_COLUMNS)
+    for entry in payload.get("entries", []):
+        writer.writerow([
+            entry.get("kernel"), entry.get("backend"), entry.get("shape"),
+            entry.get("procs"), len(entry.get("samples", [])) or 1,
+            entry.get("median_seconds", entry.get("seconds")),
+            entry.get("p50_seconds"), entry.get("p95_seconds"),
+            entry.get("p99_seconds"), entry.get("iqr_seconds"),
+            entry.get("jitter"), entry.get("seconds"),
+            entry.get("warm_median_seconds", entry.get("warm_seconds")),
+            entry.get("cold_seconds"), entry.get("deadline_misses", 0),
+            entry.get("checksum"),
+        ])
+    return buf.getvalue()

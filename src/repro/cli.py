@@ -7,6 +7,7 @@ Usage::
     python -m repro analyze FILE
     python -m repro simulate KERNEL [--machine ksr2|convex] [--procs ...]
     python -m repro exec KERNEL [--backend interp|vector|mp|jit|mpjit] [--n N]
+    python -m repro bench [--smoke] [--repeats R] [--run-dir DIR]
     python -m repro experiment NAME        # table1, table2, fig18..fig26
     python -m repro list
 
@@ -14,8 +15,9 @@ Usage::
 ``analyze`` prints the dependence summary, the derived shift/peel plan and
 a legality/profitability report; ``simulate`` runs a kernel on a simulated
 machine; ``exec`` really executes a kernel through one of the runtime
-backends and reports wall-clock time plus a checksum; ``experiment``
-regenerates one table/figure.
+backends and reports wall-clock time plus a checksum; ``bench`` runs the
+whole fastexec suite into an immutable ``results/<run_id>/`` telemetry
+directory; ``experiment`` regenerates one table/figure.
 """
 
 from __future__ import annotations
@@ -164,6 +166,31 @@ def cmd_exec(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench``: run the fastexec suite into an immutable run dir."""
+    import json
+    from pathlib import Path
+
+    from .bench.harness import run_suite
+    from .bench.store import write_run
+
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    payload = run_suite(smoke=args.smoke, repeat=args.repeats,
+                        deadline_seconds=deadline)
+    run_dir = write_run(payload, root=Path(args.run_dir))
+    print(f"run dir: {run_dir}")
+    print(f"  {len(payload['entries'])} entries x {args.repeats} repeats, "
+          f"calibration {payload['calibration_seconds']}s, "
+          f"git {payload.get('git_sha') or 'unknown'}")
+    if args.out:
+        stamped = json.loads((run_dir / "telemetry.json").read_text())
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
+        print(f"  also wrote {out}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment``: regenerate one named table/figure."""
     fn = EXPERIMENTS.get(args.name)
@@ -253,6 +280,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the record as JSON")
     p.set_defaults(fn=cmd_exec)
+
+    p = sub.add_parser("bench",
+                       help="run the fastexec benchmark suite into an "
+                            "immutable results/<run_id>/ directory")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny shapes only (the CI configuration)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="samples per config (all are recorded in the "
+                        "telemetry, the gate aggregates medians)")
+    p.add_argument("--run-dir", default="benchmarks/results",
+                   help="results root; each run creates an immutable "
+                        "<run_id>/ inside and appends to trajectory.jsonl")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also write the flat telemetry JSON (the "
+                        "committed-baseline shape)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="count repeats slower than this as deadline misses")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("experiment", help="regenerate one table/figure")
     p.add_argument("name")

@@ -16,6 +16,7 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..bench.telemetry import summarize_samples
 from ..core import build_execution_plan, derive_shift_peel, max_processors
 from ..core.execplan import ExecutionPlan
 from ..ir.sequence import Program
@@ -207,27 +208,39 @@ def measure_kernel(
     verify: bool = False,
     use_cache: bool = True,
     max_workers: Optional[int] = None,
+    deadline_seconds: Optional[float] = None,
 ) -> dict:
-    """Best-of-``repeat`` wall-clock record for one kernel × backend.
+    """Per-repeat wall-clock record for one kernel × backend.
 
     The checksum must be identical across repeats (execution is
     deterministic); a mismatch raises ``RuntimeError`` immediately.
 
-    Besides the headline ``seconds`` (best run), the record separates the
-    cost phases the jit cache is designed to amortize: ``plan_seconds``
-    (the analysis → derive → fuse → plan pipeline; 0 on a warm program
-    alias), ``compile_seconds`` (source emission + ``compile()``; 0 on any
-    cache hit), ``cold_seconds`` (plan + compile + first run) and
-    ``warm_seconds`` (best run after the first).  ``use_cache=False``
-    bypasses the plan cache completely.
+    Every repeat is kept as its own sample under ``samples`` — a dict of
+    ``seconds`` plus that repeat's share of the cost phases the jit cache
+    is designed to amortize: ``plan_seconds`` (the analysis → derive →
+    fuse → plan pipeline) and ``compile_seconds`` (source emission +
+    ``compile()``) are paid by the first repeat only (0 on a warm program
+    alias / cache hit respectively), and for ``mpjit`` each sample
+    carries its own ``pool_runs``/``pool_spawn_seconds`` delta so pool
+    startup is attributed to the repeat that paid it.
 
-    For ``mpjit`` the record additionally separates pool startup from
-    steady state: ``pool_spawn_seconds`` (forking the persistent workers,
-    paid inside the *first* run only), ``pool_workers``, ``pool_runs``
-    and ``steady_seconds`` (an alias of ``warm_seconds``: every repeat
-    after the first executes against already-warm workers, which is the
-    number a long-running service would see).  ``max_workers`` caps the
-    worker count for the mp/mpjit backends.
+    The aggregate fields are derived from the samples: the headline
+    ``seconds`` is still the best run, ``median_seconds`` /
+    ``warm_median_seconds`` / ``p50`` / ``p95`` / ``p99`` / ``iqr`` /
+    ``jitter`` (IQR/median) come from
+    :func:`repro.bench.telemetry.summarize_samples`, ``cold_seconds`` is
+    plan + compile + first run and ``warm_seconds`` the best run after
+    the first.  ``deadline_seconds`` (optional) counts repeats exceeding
+    it as ``deadline_misses`` — the service-benchmark semantics.
+    ``use_cache=False`` bypasses the plan cache completely.
+
+    For ``mpjit`` the record additionally reports pool totals:
+    ``pool_spawn_seconds`` (forking the persistent workers, paid inside
+    the *first* run only), ``pool_workers``, ``pool_runs`` and
+    ``steady_seconds`` (an alias of ``warm_seconds``: every repeat after
+    the first executes against already-warm workers, which is the number
+    a long-running service would see).  ``max_workers`` caps the worker
+    count for the mp/mpjit backends.
     """
     wall0 = time.perf_counter()
     prep = prepare_kernel(
@@ -235,11 +248,14 @@ def measure_kernel(
         backend=backend, strip=strip, use_cache=use_cache,
         need_plans=verify,
     )
-    best = None
+    pool_snapshot = None
+    if backend == "mpjit":
+        from .pool import pool_stats
+
+        pool_snapshot = pool_stats()
     digest = None
     counters = None
-    first_run = None
-    warm_best = None
+    samples: list[dict] = []
     for index in range(max(1, repeat)):
         seconds, totals, run_digest = execute_prepared(
             prep, backend, strip=strip, verify=verify,
@@ -252,20 +268,34 @@ def measure_kernel(
             )
         digest = run_digest
         counters = totals
-        best = seconds if best is None else min(best, seconds)
-        if index == 0:
-            first_run = seconds
-        else:
-            warm_best = seconds if warm_best is None else min(warm_best, seconds)
+        sample = {
+            "seconds": round(seconds, 6),
+            "plan_seconds": round(prep.plan_seconds if index == 0 else 0.0, 6),
+            "compile_seconds": round(
+                prep.compile_seconds if index == 0 else 0.0, 6),
+        }
+        if backend == "mpjit":
+            stats = pool_stats()
+            sample["pool_runs"] = (stats.get("runs", 0)
+                                   - pool_snapshot.get("runs", 0))
+            sample["pool_spawn_seconds"] = round(
+                stats.get("spawn_seconds", 0.0)
+                - pool_snapshot.get("spawn_seconds", 0.0), 6)
+            pool_snapshot = stats
+        samples.append(sample)
     total_seconds = time.perf_counter() - wall0
+    run_times = [s["seconds"] for s in samples]
+    first_run = run_times[0]
+    warm_best = min(run_times[1:]) if len(run_times) > 1 else None
     record = {
         "kernel": kernel,
         "backend": backend,
         "shape": prep.shape,
         "procs": procs,
-        "seconds": round(best, 6),
+        "seconds": round(min(run_times), 6),
         "iterations": counters["fused_iterations"] + counters["peeled_iterations"],
         "checksum": digest,
+        "samples": samples,
         "plan_seconds": round(prep.plan_seconds, 6),
         "compile_seconds": round(prep.compile_seconds, 6),
         "cold_seconds": round(
@@ -276,11 +306,11 @@ def measure_kernel(
         ),
         "total_seconds": round(total_seconds, 6),
     }
+    record.update(summarize_samples(run_times,
+                                    deadline_seconds=deadline_seconds))
     if backend in ("jit", "mpjit"):
         record["cache"] = dict(prep.cache_stats)
     if backend == "mpjit":
-        from .pool import pool_stats
-
         stats = pool_stats()
         record["pool_workers"] = stats.get("nworkers", 0)
         record["pool_runs"] = stats.get("runs", 0)

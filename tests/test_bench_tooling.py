@@ -7,6 +7,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench import store as bench_store
+from repro.bench import telemetry as bench_telemetry
+
 REPO = Path(__file__).resolve().parent.parent
 
 
@@ -65,6 +68,21 @@ def _entry(kernel="jacobi", backend="vector", shape="n=65", procs=4,
              "checksum": chk}
     if warm is not None:
         entry["warm_seconds"] = warm
+    return entry
+
+
+def _sampled_entry(kernel="jacobi", backend="vector", shape="n=65", procs=4,
+                   samples=(0.1, 0.1, 0.1), chk="aaaa", aggregates=True):
+    """An entry carrying per-repeat samples, optionally with the
+    pre-computed aggregate fields the harness would add."""
+    entry = _entry(kernel=kernel, backend=backend, shape=shape, procs=procs,
+                   seconds=min(samples), chk=chk)
+    entry["samples"] = [
+        {"seconds": s, "plan_seconds": 0.0, "compile_seconds": 0.0}
+        for s in samples
+    ]
+    if aggregates:
+        entry.update(bench_telemetry.summarize_samples(list(samples)))
     return entry
 
 
@@ -282,13 +300,344 @@ class TestRegressionChecker:
         for entry in baseline["entries"]:
             assert "warm_seconds" in entry and "cold_seconds" in entry, (
                 f"entry lacks cold/warm timing: {checker._key(entry)}")
+            assert entry.get("samples"), (
+                f"entry lacks per-repeat samples: {checker._key(entry)}")
+            assert entry.get("median_seconds") is not None, (
+                f"entry lacks median: {checker._key(entry)}")
+            # every non-interp config keeps more than one sample so the
+            # gate's medians are real medians
+            if entry["backend"] != "interp":
+                assert len(entry["samples"]) >= 2, (
+                    f"single-sample entry: {checker._key(entry)}")
+
+
+class TestTelemetrySchema:
+    def test_percentile_interpolates(self):
+        assert bench_telemetry.percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.5
+        assert bench_telemetry.percentile([5.0], 99) == 5.0
+        with pytest.raises(ValueError):
+            bench_telemetry.percentile([], 50)
+
+    def test_summarize_samples_stats(self):
+        stats = bench_telemetry.summarize_samples(
+            [0.1, 0.2, 0.3, 0.4, 0.5], deadline_seconds=0.35)
+        assert stats["median_seconds"] == 0.3
+        assert stats["p50_seconds"] == 0.3
+        assert stats["p95_seconds"] == pytest.approx(0.48)
+        assert stats["iqr_seconds"] == pytest.approx(0.2)
+        assert stats["jitter"] == pytest.approx(0.6667)
+        assert stats["deadline_misses"] == 2
+        # warm excludes the cold first sample
+        assert stats["warm_median_seconds"] == pytest.approx(0.35)
+
+    def test_single_sample_has_no_jitter(self):
+        stats = bench_telemetry.summarize_samples([0.25])
+        assert stats["jitter"] is None
+        assert stats["median_seconds"] == 0.25
+        assert stats["deadline_misses"] == 0
+
+    def test_summary_csv_and_trajectory_line(self):
+        payload = _payload([_sampled_entry(samples=(0.1, 0.2, 0.3))])
+        payload.update({"run_id": "r-01", "git_sha": "abc",
+                        "created_utc": "2026-08-09T00:00:00Z",
+                        "suite": {"smoke": True}})
+        csv_text = bench_telemetry.summary_csv(payload)
+        header, row = csv_text.strip().splitlines()
+        assert header.startswith("kernel,backend,shape,procs,samples,")
+        assert row.startswith("jacobi,vector,n=65,4,3,0.2,")
+        line = bench_telemetry.trajectory_line(payload)
+        assert line["run_id"] == "r-01"
+        assert line["entries"] == 1
+        assert line["smoke"] is True
+        assert line["geomean_median_seconds"] == pytest.approx(0.2)
+
+
+class TestRunStore:
+    def _payload(self, chk="aaaa"):
+        payload = _payload([_sampled_entry(chk=chk)])
+        payload["git_sha"] = "abc1234"
+        return payload
+
+    def test_write_read_roundtrip(self, tmp_path):
+        root = tmp_path / "results"
+        run = bench_store.write_run(self._payload(), root=root)
+        assert (run / "telemetry.json").is_file()
+        assert (run / "summary.csv").is_file()
+        payload = bench_store.read_run(run)
+        assert payload["run_id"] == run.name
+        # read_run on the results root resolves to the latest run
+        assert bench_store.read_run(root)["run_id"] == run.name
+
+    def test_second_run_never_rewrites_a_prior_run_id(self, tmp_path):
+        root = tmp_path / "results"
+        first = bench_store.write_run(self._payload(chk="aaaa"), root=root)
+        before = (first / "telemetry.json").read_bytes()
+        # Even forcing the same run_id must allocate a fresh directory.
+        second = bench_store.write_run(self._payload(chk="bbbb"), root=root,
+                                       run_id=first.name)
+        assert second.name != first.name
+        assert (first / "telemetry.json").read_bytes() == before
+        assert bench_store.read_run(second)["entries"][0]["checksum"] == "bbbb"
+        assert len(bench_store.list_runs(root)) == 2
+
+    def test_run_files_are_read_only(self, tmp_path):
+        run = bench_store.write_run(self._payload(), root=tmp_path / "r")
+        for name in ("telemetry.json", "summary.csv"):
+            mode = (run / name).stat().st_mode
+            assert mode & 0o222 == 0, f"{name} is writable"
+
+    def test_trajectory_appends_one_line_per_run(self, tmp_path):
+        root = tmp_path / "results"
+        a = bench_store.write_run(self._payload(), root=root)
+        b = bench_store.write_run(self._payload(), root=root)
+        lines = bench_store.read_trajectory(root)
+        assert [line["run_id"] for line in lines] == [a.name, b.name]
+
+    def test_results_root_created_on_demand(self, tmp_path):
+        root = tmp_path / "deep" / "nested" / "results"
+        assert not root.exists()
+        bench_store.write_run(self._payload(), root=root)
+        assert bench_store.latest_run(root) is not None
+
+
+class TestMedianGate:
+    """The gate must decide on medians over samples, never one number."""
+
+    def test_median_decides_not_best(self):
+        """A config whose *best* sample is fine but whose median is 5x
+        slower must fail — best-of-N hides systematic regressions."""
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.08, 0.5, 0.5, 0.5))])
+        assert fresh["entries"][0]["seconds"] == 0.08  # best looks fine
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert any("median slowdown" in f for f in failures["perf"])
+        assert checker.exit_code(failures) == checker.EXIT_PERF
+
+    def test_single_outlier_does_not_fail_median(self):
+        """One scheduler hiccup among repeats cannot fail the gate."""
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.09, 0.11, 0.10, 5.0))])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert checker.exit_code(failures) == checker.EXIT_OK
+
+    def test_samples_without_aggregates_still_used(self):
+        """Raw samples (no precomputed median fields) are aggregated by
+        the gate itself."""
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.5, 0.5, 0.5),
+                                         aggregates=False)])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert any("median slowdown" in f for f in failures["perf"])
+
+    def test_baseline_median_scales_allowance(self):
+        """The baseline side is a median too: a jittery committed
+        baseline must not inherit its best-of-N as the bar."""
+        base = _payload([_sampled_entry(samples=(0.05, 0.2, 0.2))])
+        fresh = _payload([_sampled_entry(samples=(0.22, 0.22, 0.22))])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert checker.exit_code(failures) == checker.EXIT_OK
+
+
+class TestJitterDowngrade:
+    def test_jittery_slowdown_is_flagged_not_failed(self):
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.1, 0.5, 0.9))])
+        assert fresh["entries"][0]["jitter"] > 0.35
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert failures["perf"] == []
+        assert len(failures[checker.FLAGGED]) == 1
+        assert "downgraded" in failures[checker.FLAGGED][0]
+        assert checker.exit_code(failures) == checker.EXIT_OK
+
+    def test_quiet_slowdown_still_fails(self):
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.5, 0.5, 0.5))])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert failures[checker.FLAGGED] == []
+        assert checker.exit_code(failures) == checker.EXIT_PERF
+
+    def test_checksum_never_downgraded(self):
+        """Correctness is exempt from the jitter excuse."""
+        base = _payload([_entry(chk="aaaa", seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.1, 0.5, 0.9),
+                                         chk="bbbb")])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert len(failures["checksum"]) == 1
+        assert checker.exit_code(failures) == checker.EXIT_CHECKSUM
+
+    def test_jittery_floor_violation_is_flagged(self):
+        floors = [{"kernel": "jacobi", "shape": "n=65", "procs": 4,
+                   "fast": "vector", "slow": "interp", "min_speedup": 30}]
+        entries = [
+            _entry(backend="interp", seconds=1.0, chk="cccc"),
+            _sampled_entry(backend="vector", samples=(0.1, 0.5, 0.9),
+                           chk="cccc"),
+        ]
+        base = _payload(entries, floors=floors)
+        failures, _ = checker.check(_payload(entries), base, 0.25, 10.0)
+        assert failures["perf"] == []
+        assert any("speedup floor violated" in f
+                   for f in failures[checker.FLAGGED])
+        assert checker.exit_code(failures) == checker.EXIT_OK
+
+    def test_single_sample_slowdown_is_flagged(self):
+        """One sample cannot distinguish noise from regression — interp
+        entries (run once by design) must not hard-fail the median gate."""
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.5,))])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert failures["perf"] == []
+        assert len(failures[checker.FLAGGED]) == 1
+        assert checker.exit_code(failures) == checker.EXIT_OK
+
+    def test_legacy_entry_without_samples_still_hard_fails(self):
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_entry(seconds=0.50)])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05)
+        assert checker.exit_code(failures) == checker.EXIT_PERF
+
+    def test_threshold_is_configurable(self):
+        base = _payload([_entry(seconds=0.10)])
+        fresh = _payload([_sampled_entry(samples=(0.1, 0.5, 0.9))])
+        failures, _ = checker.check(fresh, base, 0.25, 0.05,
+                                    jitter_threshold=2.0)
+        assert checker.exit_code(failures) == checker.EXIT_PERF
+
+
+class TestCompareMode:
+    def test_no_drift_passes(self):
+        a = _payload([_sampled_entry(samples=(0.1, 0.1))])
+        b = _payload([_sampled_entry(samples=(0.2, 0.2))])
+        failures, notes = checker.compare(a, b)
+        assert checker.exit_code(failures) == checker.EXIT_OK
+        assert any("2.00x" in n for n in notes)
+
+    def test_checksum_drift_fails(self):
+        a = _payload([_sampled_entry(chk="aaaa")])
+        b = _payload([_sampled_entry(chk="bbbb")])
+        failures, _ = checker.compare(a, b)
+        assert any("checksum drift" in f for f in failures["checksum"])
+        assert checker.exit_code(failures) == checker.EXIT_CHECKSUM
+
+    def test_no_overlap_is_structural(self):
+        a = _payload([_sampled_entry(kernel="jacobi")])
+        b = _payload([_sampled_entry(kernel="ll18")])
+        failures, _ = checker.compare(a, b)
+        assert checker.exit_code(failures) == checker.EXIT_STRUCTURE
+
+    def test_main_compare_run_dirs(self, tmp_path):
+        root = tmp_path / "results"
+        run_a = bench_store.write_run(
+            _payload([_sampled_entry(chk="aaaa")]), root=root)
+        run_b = bench_store.write_run(
+            _payload([_sampled_entry(chk="aaaa")]), root=root)
+        assert checker.main(["--compare", str(run_a), str(run_b)]) == 0
+        run_c = bench_store.write_run(
+            _payload([_sampled_entry(chk="bbbb")]), root=root)
+        assert checker.main(["--compare", str(run_a), str(run_c)]) == 3
+
+
+class TestReports:
+    def _write(self, tmp_path, base_entries, fresh_entries):
+        baseline_path = tmp_path / "baseline.json"
+        bench_path = tmp_path / "fresh.json"
+        baseline_path.write_text(json.dumps(_payload(base_entries)))
+        bench_path.write_text(json.dumps(_payload(fresh_entries)))
+        return bench_path, baseline_path
+
+    def test_json_report_roundtrip(self, tmp_path):
+        bench_path, baseline_path = self._write(
+            tmp_path, [_entry(seconds=0.10)],
+            [_sampled_entry(samples=(0.5, 0.5, 0.5))])
+        report_path = tmp_path / "report.json"
+        rc = checker.main(["--bench", str(bench_path),
+                           "--baseline", str(baseline_path),
+                           "--json", str(report_path)])
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == checker.REPORT_SCHEMA
+        assert report["mode"] == "gate"
+        assert report["exit_code"] == rc == checker.EXIT_PERF
+        assert report["passed"] is False
+        assert set(report["failures"]) == set(checker.CATEGORIES)
+        assert report["flagged"] == []
+        [row] = report["configs"]
+        assert row["median_seconds"] == 0.5
+        assert row["jitter"] == 0.0
+        assert row["checksum_ok"] is True
+        # The report round-trips: re-rendering from the parsed JSON works.
+        markdown = checker.render_markdown(report)
+        assert "median slowdown" in "".join(report["failures"]["perf"])
+        assert "| jacobi | vector |" in markdown
+
+    def test_markdown_reports_jitter_and_flags(self, tmp_path):
+        bench_path, baseline_path = self._write(
+            tmp_path, [_entry(seconds=0.10)],
+            [_sampled_entry(samples=(0.1, 0.5, 0.9))])
+        md_path = tmp_path / "summary.md"
+        rc = checker.main(["--bench", str(bench_path),
+                           "--baseline", str(baseline_path),
+                           "--markdown", str(md_path)])
+        assert rc == 0  # jitter downgraded the slowdown
+        text = md_path.read_text()
+        assert "jitter" in text
+        assert "flagged (not failing)" in text
+        assert "passed" in text
+        # --markdown appends (the step-summary contract)
+        checker.main(["--bench", str(bench_path),
+                      "--baseline", str(baseline_path),
+                      "--markdown", str(md_path)])
+        assert md_path.read_text().count("## Benchmark gate") == 2
+
+    def test_gate_accepts_run_dir_and_results_root(self, tmp_path):
+        root = tmp_path / "results"
+        run = bench_store.write_run(
+            _payload([_sampled_entry(samples=(0.1, 0.1, 0.1))]), root=root)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(_payload([_entry(seconds=0.1)])))
+        assert checker.main(["--bench", str(run),
+                             "--baseline", str(baseline_path)]) == 0
+        assert checker.main(["--bench", str(root),
+                             "--baseline", str(baseline_path)]) == 0
+
+    def test_empty_results_root_is_missing(self, tmp_path):
+        root = tmp_path / "results"
+        root.mkdir()
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(_payload([_entry()])))
+        assert checker.main(["--bench", str(root),
+                             "--baseline", str(baseline_path)]
+                            ) == checker.EXIT_MISSING
 
 
 @pytest.mark.slow
 class TestBenchSmokeEndToEnd:
-    def test_smoke_run_passes_checker(self, tmp_path):
+    def test_two_smoke_runs_gate_and_compare(self, tmp_path):
+        """The acceptance path: two consecutive smoke runs produce two
+        distinct immutable run dirs with per-repeat samples, the gate
+        passes on medians reporting per-config jitter, and the run-to-run
+        comparison shows no checksum drift."""
         bench = _load("benchmarks/bench_fastexec.py", "bench_fastexec_mod")
-        out = tmp_path / "BENCH_fastexec.json"
-        rc = bench.main(["--smoke", "--repeat", "1", "--out", str(out)])
-        assert rc == 0
-        assert checker.main(["--bench", str(out)]) == 0
+        root = tmp_path / "results"
+        out = tmp_path / "flat.json"
+        assert bench.main(["--smoke", "--repeat", "2",
+                           "--results-root", str(root),
+                           "--out", str(out)]) == 0
+        assert bench.main(["--smoke", "--repeat", "2",
+                           "--results-root", str(root)]) == 0
+        runs = bench_store.list_runs(root)
+        assert len(runs) == 2 and runs[0].name != runs[1].name
+        assert json.loads(out.read_text())["run_id"] == runs[0].name
+        for run in runs:
+            payload = bench_store.read_run(run)
+            assert any(len(e["samples"]) == 2 for e in payload["entries"])
+            assert (run / "summary.csv").is_file()
+        # The gate accepts the run dir directly and reports jitter.
+        report_path = tmp_path / "report.json"
+        assert checker.main(["--bench", str(runs[1]),
+                             "--json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["passed"]
+        assert any(row["jitter"] is not None for row in report["configs"])
+        # Two runs of identical code can never drift on checksums.
+        assert checker.main(["--compare", str(runs[0]), str(runs[1])]) == 0
+        assert len(bench_store.read_trajectory(root)) == 2
