@@ -14,6 +14,8 @@ Layout:
   machine snapshot.  No repro imports; safe to use from anywhere.
 * :mod:`repro.bench.store` — the immutable run-directory store and the
   ``trajectory.jsonl`` index.
+* :mod:`repro.bench.trend` — per-config median/jitter series over the
+  run history, rendered as text or markdown (``repro bench --trend``).
 * :mod:`repro.bench.harness` — runs the fastexec suite through
   :mod:`repro.runtime.benchmarking` and produces a telemetry payload.
 
@@ -42,3 +44,4 @@ from .telemetry import (  # noqa: F401
     summary_csv,
     trajectory_line,
 )
+from .trend import collect_series, render_trend  # noqa: F401

@@ -5,7 +5,7 @@ plain-JSON dict::
 
     {
       "schema": "repro-bench-telemetry/1",
-      "version": 4,
+      "version": 5,
       "run_id": "20260809T120301Z-ab12cd3-01",   # stamped by the store
       "created_utc": "2026-08-09T12:03:01Z",
       "git_sha": "ab12cd3",                      # null outside a checkout
@@ -38,6 +38,13 @@ The tail-latency fields (p50/p95/p99, deadline misses) are the ones the
 planned service benchmarks consume; for the offline suite they summarize
 repeats of one kernel execution.
 
+Since version 5 an entry's ``backend`` may be a *labeled variant* such as
+``mpjit-barrier`` (the real mpjit backend forced onto the global-barrier
+sync path) so sync strategies gate against each other as first-class
+configs; mp/mpjit entries also record their effective ``sync`` mode, and
+entries measured through ``--autotune`` carry the tuner's key, hit/miss
+flag and counters under ``autotune``.
+
 This module must not import anything from :mod:`repro` outside the
 package — :mod:`repro.runtime.benchmarking` imports it to aggregate its
 per-repeat samples.
@@ -56,7 +63,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 SCHEMA = "repro-bench-telemetry/1"
-PAYLOAD_VERSION = 4
+PAYLOAD_VERSION = 5
 
 SUMMARY_COLUMNS = (
     "kernel", "backend", "shape", "procs", "samples",

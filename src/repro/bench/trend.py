@@ -1,0 +1,142 @@
+"""Render the benchmark trajectory as per-config trend series.
+
+The store (:mod:`repro.bench.store`) accumulates immutable run
+directories plus a ``trajectory.jsonl`` index; this module turns that
+history into something a human can read at a glance: one row per
+(kernel, backend, shape, procs) config, its median wall-clock and jitter
+for every recorded run id, and the drift between the first and the
+latest run.  ``python -m repro bench --trend`` prints the plain-text
+table; ``--markdown`` emits the same series as a GitHub-flavored table
+for CI job summaries.
+
+Only runs of the same tier are comparable — a smoke run times tiny
+shapes — so series are keyed per config, never across shapes, and the
+run-level header lists each run's tier next to its id.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from .store import TELEMETRY_NAME, list_runs, read_trajectory
+
+
+def config_key(entry: dict) -> tuple:
+    return (
+        entry.get("kernel"), entry.get("backend"),
+        entry.get("shape"), entry.get("procs"),
+    )
+
+
+def collect_series(root: Path, last: Optional[int] = None) -> dict:
+    """Per-config median/jitter series over the run history under ``root``.
+
+    Returns ``{"runs": [...], "series": [...]}``: ``runs`` is one dict
+    per run id (oldest first, truncated to the ``last`` most recent when
+    given) with the trajectory-index facts; each ``series`` element is
+    one config with a ``points`` list aligned to ``runs`` (``None``
+    where a run did not measure that config).  Unreadable run
+    directories are skipped, never fatal — the trajectory is append-only
+    and old runs may predate the current schema.
+    """
+    root = Path(root)
+    index = {line.get("run_id"): line for line in read_trajectory(root)}
+    run_dirs = list_runs(root)
+    if last is not None and last > 0:
+        run_dirs = run_dirs[-last:]
+    runs: list[dict] = []
+    series: dict[tuple, dict] = {}
+    for run_dir in run_dirs:
+        try:
+            payload = json.loads((run_dir / TELEMETRY_NAME).read_text())
+        except (OSError, ValueError):
+            continue
+        rid = payload.get("run_id") or run_dir.name
+        line = index.get(rid, {})
+        runs.append({
+            "run_id": rid,
+            "created_utc": payload.get("created_utc"),
+            "git_sha": payload.get("git_sha"),
+            "smoke": payload.get("suite", {}).get("smoke"),
+            "geomean_median_seconds": line.get("geomean_median_seconds"),
+        })
+        for entry in payload.get("entries", []):
+            key = config_key(entry)
+            cfg = series.setdefault(key, {
+                "kernel": key[0], "backend": key[1],
+                "shape": key[2], "procs": key[3], "points": [],
+            })
+            while len(cfg["points"]) < len(runs) - 1:
+                cfg["points"].append(None)
+            cfg["points"].append({
+                "median_seconds": entry.get("median_seconds",
+                                            entry.get("seconds")),
+                "jitter": entry.get("jitter"),
+            })
+    for cfg in series.values():
+        while len(cfg["points"]) < len(runs):
+            cfg["points"].append(None)
+    ordered = sorted(series.values(),
+                     key=lambda c: (str(c["kernel"]), str(c["shape"]),
+                                    str(c["backend"]), c["procs"] or 0))
+    return {"runs": runs, "series": ordered}
+
+
+def _fmt_point(point: Optional[dict]) -> str:
+    if point is None or point.get("median_seconds") is None:
+        return "-"
+    med = point["median_seconds"]
+    jit = point.get("jitter")
+    return f"{med:.6f}" + (f"±{jit:.0%}" if jit is not None else "")
+
+
+def _drift(points: list) -> str:
+    timed = [p["median_seconds"] for p in points
+             if p is not None and p.get("median_seconds")]
+    if len(timed) < 2 or timed[0] <= 0:
+        return "-"
+    return f"{100.0 * (timed[-1] - timed[0]) / timed[0]:+.1f}%"
+
+
+def render_trend(root: Path, markdown: bool = False,
+                 last: Optional[int] = None) -> str:
+    """The trajectory under ``root`` as a text or markdown table."""
+    data = collect_series(root, last=last)
+    runs, series = data["runs"], data["series"]
+    if not runs:
+        return f"no benchmark runs under {root} (run `repro bench` first)"
+    lines = [f"benchmark trajectory: {len(runs)} run(s) under {root}"]
+    for i, run in enumerate(runs, 1):
+        tier = "smoke" if run.get("smoke") else "full"
+        geo = run.get("geomean_median_seconds")
+        lines.append(
+            f"  r{i}: {run['run_id']}  [{tier}] "
+            f"git {run.get('git_sha') or 'unknown'}  "
+            f"geomean {geo if geo is not None else '-'}"
+        )
+    lines.append("")
+    headers = (["kernel", "backend", "shape", "P"]
+               + [f"r{i}" for i in range(1, len(runs) + 1)]
+               + ["drift"])
+    rows = []
+    for cfg in series:
+        rows.append(
+            [str(cfg["kernel"]), str(cfg["backend"]), str(cfg["shape"]),
+             str(cfg["procs"])]
+            + [_fmt_point(p) for p in cfg["points"]]
+            + [_drift(cfg["points"])]
+        )
+    if markdown:
+        lines.append("| " + " | ".join(headers) + " |")
+        lines.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+    else:
+        widths = [max(len(headers[c]), *(len(r[c]) for r in rows))
+                  if rows else len(headers[c]) for c in range(len(headers))]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        for row in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -6,8 +6,9 @@ Usage::
     python -m repro transform FILE [--style stripmined|direct|spmd]
     python -m repro analyze FILE
     python -m repro simulate KERNEL [--machine ksr2|convex] [--procs ...]
-    python -m repro exec KERNEL [--backend interp|vector|mp|jit|mpjit] [--n N]
-    python -m repro bench [--smoke] [--repeats R] [--run-dir DIR]
+    python -m repro exec KERNEL [--backend interp|vector|mp|jit|mpjit]
+                         [--n N] [--sync p2p|barrier] [--autotune]
+    python -m repro bench [--smoke] [--repeats R] [--run-dir DIR] [--trend]
     python -m repro experiment NAME        # table1, table2, fig18..fig26
     python -m repro list
 
@@ -133,9 +134,28 @@ def cmd_exec(args: argparse.Namespace) -> int:
         verify=args.verify,
         use_cache=not args.no_cache,
         max_workers=args.max_workers,
+        sync=args.sync,
+        autotune=args.autotune,
     )
+    sync_note = f", sync={record['sync']}" if "sync" in record else ""
     print(f"{record['kernel']} [{record['shape']}] on backend "
-          f"{record['backend']} with {record['procs']} processors:")
+          f"{record['backend']}{sync_note} with {record['procs']} processors:")
+    if "autotune" in record:
+        tune = record["autotune"]
+        stats = tune.get("stats", {})
+        winner = tune.get("winner", {}).get("config", {})
+        what = ", ".join(f"{k}={v}" for k, v in sorted(winner.items()))
+        if tune.get("hit"):
+            print(f"  auto-tuner: hit (persisted winner reused, "
+                  f"0 candidates timed) -> {what}")
+        else:
+            print(f"  auto-tuner: miss ({tune.get('candidates_timed', 0)} "
+                  f"candidates timed in {tune.get('tune_seconds', 0.0):.3f} s)"
+                  f" -> {what}")
+        print(f"  auto-tuner stats: {stats.get('hits', 0)} hits, "
+              f"{stats.get('misses', 0)} misses, "
+              f"{stats.get('stores', 0)} stores, "
+              f"{stats.get('invalid', 0)} invalid")
     print(f"  {record['seconds']:.6f} s for {record['iterations']} iterations"
           f"{' (verified against interp)' if args.verify else ''}")
     print(f"  cold {record['cold_seconds']:.6f} s "
@@ -174,6 +194,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .bench.harness import run_suite
     from .bench.store import write_run
 
+    if args.trend:
+        from .bench.trend import render_trend
+
+        print(render_trend(Path(args.run_dir), markdown=args.markdown,
+                           last=args.last))
+        return 0
     deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
     payload = run_suite(smoke=args.smoke, repeat=args.repeats,
                         deadline_seconds=deadline)
@@ -277,9 +303,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-workers", type=int, default=None,
                    help="cap the mp/mpjit worker count (default: the "
                         "machine's core count)")
+    p.add_argument("--sync", default=None, choices=("p2p", "barrier"),
+                   help="mp/mpjit phase synchronization: point-to-point "
+                        "neighbor events (default) or the paper's global "
+                        "barrier")
+    p.add_argument("--autotune", action="store_true", dest="autotune",
+                   help="pick backend/strip/workers/sync by measured cost "
+                        "(winner persisted next to the plan cache; warm "
+                        "runs reuse it without re-timing)")
+    p.add_argument("--no-autotune", action="store_false", dest="autotune",
+                   help="disable the auto-tuner (the default)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the record as JSON")
-    p.set_defaults(fn=cmd_exec)
+    p.set_defaults(fn=cmd_exec, autotune=False)
 
     p = sub.add_parser("bench",
                        help="run the fastexec benchmark suite into an "
@@ -297,6 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "committed-baseline shape)")
     p.add_argument("--deadline-ms", type=float, default=None,
                    help="count repeats slower than this as deadline misses")
+    p.add_argument("--trend", action="store_true",
+                   help="render the recorded trajectory (per-config median "
+                        "and jitter across run ids) instead of benchmarking")
+    p.add_argument("--markdown", action="store_true",
+                   help="with --trend: emit a markdown table")
+    p.add_argument("--last", type=int, default=None, metavar="N",
+                   help="with --trend: only the N most recent runs")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("experiment", help="regenerate one table/figure")

@@ -43,7 +43,9 @@ from ..ir.stmt import BinOp, Const, Expr, Load, UnaryOp
 
 #: Bumped whenever the shape of generated code changes; part of the plan
 #: signature's on-disk directory name so stale cache trees are never read.
-CODEGEN_VERSION = 2
+#: v3: modules additionally carry ``PEEL_DEPS`` — the per-processor
+#: point-to-point predecessor map consumed by the mpjit pool.
+CODEGEN_VERSION = 3
 
 IND = "    "
 
@@ -65,7 +67,10 @@ class JitModule:
     ``run_fused``/``run_peeled`` execute *one* processor's phase and return
     its iteration count — the entry points the ``mpjit`` worker pool calls
     so each OS process runs only its assigned processors between real
-    barriers."""
+    barriers.  ``peel_deps[p]`` is the sorted tuple of processors whose
+    fused phase must complete before processor ``p``'s peeled phase (see
+    :mod:`repro.core.syncdeps`); the pool's point-to-point sync mode waits
+    on exactly these instead of a global barrier."""
 
     signature: str
     source: str
@@ -73,6 +78,7 @@ class JitModule:
     run_fused: Callable[[int, MutableMapping[str, np.ndarray]], int]
     run_peeled: Callable[[int, MutableMapping[str, np.ndarray]], int]
     nprocs: int
+    peel_deps: tuple[tuple[int, ...], ...]
 
 
 # ---------------------------------------------------------------------------
@@ -403,7 +409,14 @@ def emit_plan_source(exec_plan: ExecutionPlan,
         peeled_names.append(name)
         peeled_counts.append(count)
 
+    from ..core.syncdeps import peel_predecessors
+
     lines.append(f"NPROCS = {len(exec_plan.processors)}")
+    lines.append("# Point-to-point sync map: PEEL_DEPS[p] lists the")
+    lines.append("# processors whose fused phase must complete before")
+    lines.append("# processor p's peeled phase may start (flow, anti and")
+    lines.append("# output dependences across the barrier point).")
+    lines.append(f"PEEL_DEPS = {peel_predecessors(exec_plan)!r}")
     lines.append(f"FUSED_COUNTS = {tuple(fused_counts)!r}")
     lines.append(f"PEELED_COUNTS = {tuple(peeled_counts)!r}")
     lines.append(f"FUSED_ITERATIONS = {sum(fused_counts)}")
@@ -457,6 +470,7 @@ def compile_source(source: str,
     run_fused = namespace.get("run_fused")
     run_peeled = namespace.get("run_peeled")
     nprocs = namespace.get("NPROCS")
+    peel_deps = namespace.get("PEEL_DEPS")
     if not isinstance(signature, str) or not callable(run):
         raise JitCompileError("generated module lacks SIGNATURE/run")
     if (not callable(run_fused) or not callable(run_peeled)
@@ -465,6 +479,12 @@ def compile_source(source: str,
             "generated module lacks the per-processor entry points "
             "(run_fused/run_peeled/NPROCS) — produced by an older codegen"
         )
+    if (not isinstance(peel_deps, tuple) or len(peel_deps) != nprocs
+            or not all(isinstance(d, tuple) for d in peel_deps)):
+        raise JitCompileError(
+            "generated module lacks the point-to-point sync map "
+            "(PEEL_DEPS) — produced by an older codegen"
+        )
     if expected_signature is not None and signature != expected_signature:
         raise JitCompileError(
             f"stale generated module: signature {signature[:12]}... does "
@@ -472,7 +492,7 @@ def compile_source(source: str,
         )
     return JitModule(signature=signature, source=source, run=run,
                      run_fused=run_fused, run_peeled=run_peeled,
-                     nprocs=nprocs)
+                     nprocs=nprocs, peel_deps=peel_deps)
 
 
 def compile_plan(exec_plan: ExecutionPlan,

@@ -11,7 +11,8 @@ examples and the benchmarks select an executor with a string:
 * ``vector`` — :func:`repro.runtime.fastexec.run_vector`, numpy
   whole-array execution of the same plan (measured performance).
 * ``mp`` — :func:`repro.runtime.fastexec.run_mp`, one OS process per
-  simulated processor over shared memory with a real barrier.
+  simulated processor over shared memory, synchronized point-to-point
+  between the phases (``sync="barrier"`` restores the global barrier).
 * ``jit`` — :func:`run_jit`, the plan lowered once to literal numpy
   source (:mod:`repro.codegen.emitpy`), compiled and memoized through the
   two-level plan cache (:mod:`repro.runtime.plancache`), then executed as
@@ -19,8 +20,9 @@ examples and the benchmarks select an executor with a string:
 * ``mpjit`` — :func:`repro.runtime.pool.run_mpjit`, the same compiled
   modules executed in parallel by a persistent worker pool: each worker
   runs only its processors' ``run_fused``/``run_peeled`` entry points
-  over shared memory with a real barrier in between (the paper's
-  two-phase SPMD schedule, compiled).
+  over shared memory (the paper's two-phase SPMD schedule, compiled),
+  synchronizing point-to-point through the module's ``PEEL_DEPS`` map
+  by default (``sync="barrier"`` restores the global barrier).
 
 ``Backend.run(..., verify=True)`` cross-checks any fast backend against
 the interpreter on the spot and raises :class:`BackendMismatch` unless the
@@ -172,7 +174,9 @@ register_backend(Backend(
 ))
 register_backend(Backend(
     name="mp",
-    description="one OS process per simulated processor over shared memory",
+    description="one OS process per simulated processor over shared memory "
+                "(point-to-point phase sync; sync='barrier' for the global "
+                "barrier)",
     runner=run_mp,
 ))
 register_backend(Backend(
@@ -185,6 +189,6 @@ register_backend(Backend(
     name="mpjit",
     description="compiled per-processor entry points executed by a "
                 "persistent worker pool over shared memory (fused phase, "
-                "barrier, peeled phase)",
+                "point-to-point neighbor sync, peeled phase)",
     runner=run_mpjit,
 ))

@@ -150,8 +150,12 @@ def execute_prepared(
     verify: bool = False,
     no_cache: bool = False,
     max_workers: Optional[int] = None,
+    sync: Optional[str] = None,
 ) -> tuple[float, dict[str, int], str]:
     """One timed execution of all sequences: (seconds, counters, checksum).
+
+    ``sync`` selects the phase synchronization for the mp/mpjit backends
+    (``"p2p"``/``"barrier"``; None keeps the runner's default, p2p).
 
     Array allocation happens outside the timed region; the run itself —
     including any backend setup such as shared-memory creation for ``mp``
@@ -174,7 +178,8 @@ def execute_prepared(
             if backend == "mpjit":
                 stats = run_mpjit_module(module, arrays,
                                          max_workers=max_workers,
-                                         cache_root=cache_root)
+                                         cache_root=cache_root,
+                                         sync=sync or "p2p")
             else:
                 stats = module.run(arrays)
             for key in totals:
@@ -187,6 +192,8 @@ def execute_prepared(
         options["no_cache"] = True
     if backend in ("mp", "mpjit") and max_workers is not None:
         options["max_workers"] = max_workers
+    if backend in ("mp", "mpjit") and sync is not None:
+        options["sync"] = sync
     t0 = time.perf_counter()
     for ep in prep.plans:
         stats = be.run(ep, arrays, strip=strip, verify=verify, **options)
@@ -209,8 +216,25 @@ def measure_kernel(
     use_cache: bool = True,
     max_workers: Optional[int] = None,
     deadline_seconds: Optional[float] = None,
+    sync: Optional[str] = None,
+    label: Optional[str] = None,
+    autotune: bool = False,
+    tuner=None,
 ) -> dict:
     """Per-repeat wall-clock record for one kernel × backend.
+
+    ``sync`` selects the mp/mpjit phase synchronization (``"p2p"`` is
+    the runners' default, ``"barrier"`` the paper's global barrier); the
+    effective mode is recorded as ``record["sync"]``.  ``label``
+    overrides the reported backend name, so the bench harness can gate
+    variants like ``mpjit-barrier`` as their own entries.
+
+    ``autotune=True`` consults the measured-cost auto-tuner
+    (:mod:`repro.runtime.autotune`) first: the persisted winner for this
+    (kernel IR, shape, procs, machine) — timed once, reused on every
+    warm run — overrides ``backend``/``strip``/``max_workers``/``sync``,
+    and the tuner's key, hit/miss flag and counters are recorded under
+    ``record["autotune"]``.
 
     The checksum must be identical across repeats (execution is
     deterministic); a mismatch raises ``RuntimeError`` immediately.
@@ -243,6 +267,18 @@ def measure_kernel(
     count for the mp/mpjit backends.
     """
     wall0 = time.perf_counter()
+    tuner_info = None
+    if autotune:
+        from .autotune import resolve_config
+
+        config, tuner_info = resolve_config(
+            kernel, params=params, n=n, procs=procs, seed=seed,
+            tuner=tuner,
+        )
+        backend = config.get("backend", backend)
+        strip = config.get("strip", strip)
+        max_workers = config.get("max_workers", max_workers)
+        sync = config.get("sync", sync)
     prep = prepare_kernel(
         kernel, params=params, n=n, procs=procs, seed=seed,
         backend=backend, strip=strip, use_cache=use_cache,
@@ -260,6 +296,7 @@ def measure_kernel(
         seconds, totals, run_digest = execute_prepared(
             prep, backend, strip=strip, verify=verify,
             no_cache=not use_cache, max_workers=max_workers,
+            sync=sync,
         )
         if digest is not None and run_digest != digest:
             raise RuntimeError(
@@ -289,7 +326,7 @@ def measure_kernel(
     warm_best = min(run_times[1:]) if len(run_times) > 1 else None
     record = {
         "kernel": kernel,
-        "backend": backend,
+        "backend": label or backend,
         "shape": prep.shape,
         "procs": procs,
         "seconds": round(min(run_times), 6),
@@ -308,6 +345,10 @@ def measure_kernel(
     }
     record.update(summarize_samples(run_times,
                                     deadline_seconds=deadline_seconds))
+    if backend in ("mp", "mpjit"):
+        record["sync"] = sync or "p2p"
+    if tuner_info is not None:
+        record["autotune"] = tuner_info
     if backend in ("jit", "mpjit"):
         record["cache"] = dict(prep.cache_stats)
     if backend == "mpjit":

@@ -40,6 +40,8 @@ iteration coverage across backends.
 from __future__ import annotations
 
 import itertools
+import os
+import time
 from functools import lru_cache
 from typing import Mapping, MutableMapping, Optional, Sequence
 
@@ -388,16 +390,96 @@ def run_vector(
 # The mp backend: one OS process per simulated processor, shared memory.
 # ---------------------------------------------------------------------------
 
-#: Backstop for a worker stuck at the barrier.  The parent aborts the
-#: barrier as soon as it detects a failure, so in practice a crash
+#: Default backstop for a worker stuck waiting on peers (at the barrier,
+#: or on a fused-done event in point-to-point mode).  The parent aborts
+#: the sync as soon as it detects a failure, so in practice a crash
 #: surfaces within a fraction of a second; this only bounds the truly
 #: pathological case of a parent that died without cleaning up.
-BARRIER_TIMEOUT = 600.0
+DEFAULT_SYNC_TIMEOUT = 600.0
+
+#: Environment override (seconds) for the sync backstop.  The test suite
+#: drops it sharply (tests/conftest.py) so sync-failure tests stay
+#: time-bounded instead of relying on a 600 s ceiling.
+ENV_SYNC_TIMEOUT = "REPRO_SYNC_TIMEOUT"
+
+
+def sync_timeout() -> float:
+    """The sync backstop in seconds: ``REPRO_SYNC_TIMEOUT`` when set to a
+    positive number, else :data:`DEFAULT_SYNC_TIMEOUT`.  Read at wait
+    time so workers forked before the variable changed still honour it
+    on their next run (fork shares the parent's environ)."""
+    raw = os.environ.get(ENV_SYNC_TIMEOUT)
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return DEFAULT_SYNC_TIMEOUT
+        if value > 0:
+            return value
+    return DEFAULT_SYNC_TIMEOUT
+
 
 #: How long the parent keeps draining the result queue after the first
 #: failure, so the root-cause traceback wins over the peers' secondary
 #: "barrier aborted" reports.
 _FAILURE_DRAIN_SECONDS = 1.0
+
+#: Poll interval while waiting on a fused-done event in point-to-point
+#: mode; bounds how long a waiter takes to observe the abort flag after
+#: a peer dies (the parent sets it on the first casualty).
+_P2P_POLL_SECONDS = 0.05
+
+
+class SyncAborted(RuntimeError):
+    """Point-to-point sync released early: a peer failed, or a fused-done
+    signal never arrived within the backstop.  The p2p analogue of
+    :class:`threading.BrokenBarrierError`."""
+
+
+class P2PSync:
+    """Point-to-point fused-done signalling between SPMD workers.
+
+    ``events[p]`` is set exactly once per run, when processor ``p``'s
+    fused phase completes; a peeled phase then waits only on the events
+    of its named predecessors (:func:`repro.core.syncdeps.peel_predecessors`)
+    instead of on a global barrier.  One shared ``abort`` event releases
+    every waiter on failure — :func:`collect_worker_results` calls
+    ``.abort()`` on the first casualty exactly as it aborts a barrier.
+
+    The events must be created by whoever spawns the worker processes
+    (multiprocessing sync primitives travel only through ``Process``
+    args / fork inheritance, never through queues).
+    """
+
+    def __init__(self, events: Sequence, abort_event) -> None:
+        self.events = events
+        self.abort_event = abort_event
+
+    def abort(self) -> None:
+        self.abort_event.set()
+
+    def signal_fused_done(self, proc: int) -> None:
+        self.events[proc].set()
+
+    def wait_for(self, preds: Sequence[int],
+                 timeout: Optional[float] = None) -> None:
+        """Block until every processor in ``preds`` has signalled
+        fused-done; raise :class:`SyncAborted` promptly on abort and
+        after ``timeout`` (default :func:`sync_timeout`) as a backstop."""
+        if timeout is None:
+            timeout = sync_timeout()
+        deadline = time.monotonic() + timeout
+        for p in preds:
+            ev = self.events[p]
+            while not ev.wait(_P2P_POLL_SECONDS):
+                if self.abort_event.is_set():
+                    raise SyncAborted("a peer failed first")
+                if time.monotonic() >= deadline:
+                    self.abort_event.set()  # release the other waiters
+                    raise SyncAborted(
+                        f"no fused-done signal from processor {p} within "
+                        f"{timeout:.0f}s"
+                    )
 
 
 def _resolve_workers(nprocs: int, max_workers: Optional[int]) -> int:
@@ -472,18 +554,19 @@ def release_segments(segments: Mapping) -> None:
             pass
 
 
-def collect_worker_results(queue, workers: Mapping[int, object], barrier,
+def collect_worker_results(queue, workers: Mapping[int, object], sync,
                            label: str) -> dict[int, tuple]:
     """Gather one ``(worker_id, ok, payload)`` message per worker.
 
     The queue is polled with a short timeout while checking worker
     liveness, so a worker that dies *before* its ``queue.put`` surfaces as
-    a prompt :class:`FastExecError` instead of a 600 s barrier hang.  On
-    any failure the barrier is aborted (releasing the surviving peers) and
-    the queue is drained briefly so the root-cause traceback is reported
-    in preference to the peers' secondary ``BrokenBarrierError`` notices.
+    a prompt :class:`FastExecError` instead of a 600 s sync hang.  On any
+    failure ``sync.abort()`` is called (releasing the surviving peers —
+    ``sync`` is a barrier, a :class:`P2PSync`, or anything else with an
+    ``abort()``) and the queue is drained briefly so the root-cause
+    traceback is reported in preference to the peers' secondary
+    "barrier broken" / "sync aborted" notices.
     """
-    import time
     from queue import Empty
 
     results: dict[int, tuple] = {}
@@ -494,7 +577,7 @@ def collect_worker_results(queue, workers: Mapping[int, object], barrier,
 
     def fail(message: str) -> None:
         nonlocal deadline
-        barrier.abort()
+        sync.abort()
         failures.append(message)
         if deadline is None:
             deadline = time.monotonic() + _FAILURE_DRAIN_SECONDS
@@ -525,8 +608,12 @@ def collect_worker_results(queue, workers: Mapping[int, object], barrier,
         else:
             fail(f"{label} worker {wid} failed:\n{payload}")
     if failures:
-        # Order the genuine tracebacks ahead of barrier-abort fallout.
-        failures.sort(key=lambda m: ("barrier" in m.splitlines()[-1], m))
+        # Order the genuine tracebacks ahead of sync-abort fallout.
+        def _secondary(m: str) -> bool:
+            last = m.splitlines()[-1]
+            return "barrier" in last or "sync aborted" in last
+
+        failures.sort(key=lambda m: (_secondary(m), m))
         raise FastExecError(
             f"{label} execution failed ({len(failures)} worker "
             f"failure(s)):\n" + "\n".join(failures)
@@ -535,8 +622,14 @@ def collect_worker_results(queue, workers: Mapping[int, object], barrier,
 
 
 def _mp_worker(worker_id: int, exec_plan: ExecutionPlan,
-               proc_indices: Sequence[int], specs: dict, barrier,
-               strip: Optional[int], queue) -> None:
+               proc_indices: Sequence[int], specs: dict, sync,
+               strip: Optional[int], queue,
+               deps: Optional[Sequence[Sequence[int]]]) -> None:
+    """One SPMD worker.  ``sync`` is a barrier (``deps is None``) or a
+    :class:`P2PSync` (``deps`` is the plan's predecessor map): with a
+    barrier every worker waits for all peers between its phases; with
+    p2p each processor signals fused-done individually and each peeled
+    phase waits only on its named predecessors."""
     import threading
     import traceback
 
@@ -554,21 +647,28 @@ def _mp_worker(worker_id: int, exec_plan: ExecutionPlan,
                 fused += _run_proc_fused(exec_plan.processors[idx], plan,
                                          nests, params, arrays, strip,
                                          nest_vdims)
-            barrier.wait(timeout=BARRIER_TIMEOUT)
+                if deps is not None:
+                    sync.signal_fused_done(idx)
+            if deps is None:
+                sync.wait(timeout=sync_timeout())
             peeled = 0
             for idx in proc_indices:
+                if deps is not None:
+                    sync.wait_for(deps[idx])
                 peeled += _run_proc_peeled(exec_plan.processors[idx], nests,
                                            params, arrays, nest_vdims)
             queue.put((worker_id, True, (fused, peeled)))
         except threading.BrokenBarrierError:
             queue.put((worker_id, False,
                        "barrier broken or aborted (a peer failed first, or "
-                       f"no peer arrived within {BARRIER_TIMEOUT:.0f}s)"))
+                       f"no peer arrived within {sync_timeout():.0f}s)"))
+        except SyncAborted as exc:
+            queue.put((worker_id, False, f"p2p sync aborted ({exc})"))
         except BaseException:
             # Ship the real traceback to the parent, then release any
-            # peers still parked at the barrier.
+            # peers still parked at the sync.
             queue.put((worker_id, False, traceback.format_exc()))
-            barrier.abort()
+            sync.abort()
     finally:
         del arrays
         for seg in segments:
@@ -580,20 +680,27 @@ def run_mp(
     arrays: MutableMapping[str, np.ndarray],
     strip: Optional[int] = None,
     max_workers: Optional[int] = None,
+    sync: str = "p2p",
 ) -> dict[str, int]:
     """Execute the plan with OS processes over
-    ``multiprocessing.shared_memory``, with a real barrier between the
-    fused and peeled phases.  ``max_workers`` caps the worker count
-    (default: the machine's core count); the simulated processors are
-    dealt round-robin across workers (each worker still runs its
-    processors' phases in plan order).
+    ``multiprocessing.shared_memory``.  ``sync="p2p"`` (the default)
+    synchronizes the fused and peeled phases point-to-point: each
+    processor's peeled phase waits only on the fused-done events of its
+    predecessors (:func:`repro.core.syncdeps.peel_predecessors`);
+    ``sync="barrier"`` keeps the paper's single global barrier.
+    ``max_workers`` caps the worker count (default: the machine's core
+    count); the simulated processors are dealt round-robin across
+    workers (each worker still runs its processors' phases in plan
+    order).
 
     Worker failures never hang the parent: the result queue is polled
-    with liveness checks, a crashed or raising worker aborts the barrier,
+    with liveness checks, a crashed or raising worker aborts the sync,
     and the resulting :class:`FastExecError` carries the worker's
     traceback.  Shared-memory segments are unlinked on every path."""
     import multiprocessing as mp
 
+    if sync not in ("p2p", "barrier"):
+        raise FastExecError(f"unknown sync mode {sync!r}")
     nprocs = len(exec_plan.processors)
     nworkers = _resolve_workers(nprocs, max_workers)
     if nworkers == 1:
@@ -605,20 +712,28 @@ def run_mp(
     workers: dict[int, object] = {}
     try:
         segments, specs = export_arrays(arrays)
-        barrier = ctx.Barrier(nworkers)
+        if sync == "p2p":
+            from ..core.syncdeps import peel_predecessors
+
+            deps = peel_predecessors(exec_plan)
+            sync_obj = P2PSync([ctx.Event() for _ in range(nprocs)],
+                               ctx.Event())
+        else:
+            deps = None
+            sync_obj = ctx.Barrier(nworkers)
         queue = ctx.Queue()
         assignment = [list(range(w, nprocs, nworkers)) for w in range(nworkers)]
         workers = {
             w: ctx.Process(
                 target=_mp_worker,
-                args=(w, exec_plan, assignment[w], specs, barrier, strip,
-                      queue),
+                args=(w, exec_plan, assignment[w], specs, sync_obj, strip,
+                      queue, deps),
             )
             for w in range(nworkers)
         }
         for w in workers.values():
             w.start()
-        results = collect_worker_results(queue, workers, barrier, "mp")
+        results = collect_worker_results(queue, workers, sync_obj, "mp")
         fused = sum(f for f, _ in results.values())
         peeled = sum(p for _, p in results.values())
         for w in workers.values():

@@ -119,6 +119,13 @@ class PlanCache:
     def alias_path(self, key: str) -> Path:
         return self.version_dir / "aliases" / f"{key}.json"
 
+    @property
+    def tuner_dir(self) -> Path:
+        """Where the measured-cost auto-tuner persists its winners
+        (:mod:`repro.runtime.autotune`) — next to the compiled plans, so
+        one environment variable relocates/isolates both stores."""
+        return self.version_dir / "autotune"
+
     # -- the two levels ----------------------------------------------------
 
     def _remember(self, module) -> None:

@@ -17,16 +17,25 @@ interpreter.  This module closes the gap:
   already emitted and persisted it) and pays one ``compile()`` — never an
   emission; the task carries the source inline as a last-resort fallback
   for non-persistent caches;
-* one run is the paper's two-phase schedule verbatim: every worker calls
+* one run is the paper's two-phase schedule: every worker calls
   ``run_fused(proc, arrays)`` for its assigned processors over
-  ``multiprocessing.shared_memory``, waits on a real barrier, then calls
-  ``run_peeled(proc, arrays)``.
+  ``multiprocessing.shared_memory``, synchronizes, then calls
+  ``run_peeled(proc, arrays)``.  The synchronization is point-to-point
+  by default (``sync="p2p"``): each processor signals a preallocated
+  "fused done" event as its fused phase completes, and each peeled
+  phase waits only on the events of its named predecessors — the
+  module's ``PEEL_DEPS`` map, derived by
+  :func:`repro.core.syncdeps.peel_predecessors` — instead of on the
+  slowest peer.  ``sync="barrier"`` keeps the paper's single global
+  barrier (also the automatic fallback for plans with more processors
+  than preallocated event slots).
 
 Failure semantics match :func:`repro.runtime.fastexec.run_mp`: the parent
-polls the result queue with liveness checks, aborts the barrier on the
-first casualty, and raises :class:`~repro.runtime.fastexec.FastExecError`
-carrying the worker traceback.  A failed run poisons the barrier, so the
-pool is torn down and the next run transparently spawns a fresh one.
+polls the result queue with liveness checks, aborts the sync (barrier
+*and* p2p abort event) on the first casualty, and raises
+:class:`~repro.runtime.fastexec.FastExecError` carrying the worker
+traceback.  A failed run poisons the pool, so it is torn down and the
+next run transparently spawns a fresh one.
 """
 
 from __future__ import annotations
@@ -39,15 +48,25 @@ import numpy as np
 
 from ..core.execplan import ExecutionPlan
 from .fastexec import (
-    BARRIER_TIMEOUT,
     FastExecError,
+    P2PSync,
+    SyncAborted,
     _resolve_workers,
     attach_arrays,
     collect_worker_results,
     copy_back_arrays,
     export_arrays,
     release_segments,
+    sync_timeout,
 )
+
+#: Fused-done events preallocated per pool.  Multiprocessing sync
+#: primitives travel only through ``Process`` args at spawn time (never
+#: through queues), so the pool must allocate its event table up front;
+#: plans with more processors than slots silently fall back to the
+#: global barrier for that run (visible as ``last_sync`` in
+#: :func:`pool_stats`).
+P2P_EVENT_SLOTS = 128
 
 #: Test-only failure injection: when set (before the pool is spawned, so
 #: fork inheritance carries it into the workers), every worker calls it
@@ -83,12 +102,15 @@ def _load_module(modules: dict, signature: str, cache_root: Optional[str],
     return module, mode
 
 
-def _pool_worker(worker_id: int, task_queue, result_queue, barrier) -> None:
+def _pool_worker(worker_id: int, task_queue, result_queue, barrier,
+                 p2p: P2PSync) -> None:
     """One long-lived worker: loop over tasks until the ``None`` sentinel.
 
     Each task executes one plan's two-phase schedule for this worker's
-    assigned processors.  Errors are shipped to the parent as formatted
-    tracebacks; a failure releases barrier peers via ``barrier.abort()``.
+    assigned processors, synchronizing through the global barrier or
+    point-to-point per the task's sync mode.  Errors are shipped to the
+    parent as formatted tracebacks; a failure releases the peers by
+    aborting both primitives (whichever the peers are parked on).
     """
     import threading
     import traceback
@@ -98,7 +120,7 @@ def _pool_worker(worker_id: int, task_queue, result_queue, barrier) -> None:
         task = task_queue.get()
         if task is None:
             break
-        signature, cache_root, source, specs, proc_indices = task
+        signature, cache_root, source, specs, proc_indices, sync_mode = task
         segments: list = []
         arrays: dict[str, np.ndarray] = {}
         try:
@@ -110,12 +132,22 @@ def _pool_worker(worker_id: int, task_queue, result_queue, barrier) -> None:
                 if _test_worker_hook is not None:
                     _test_worker_hook(worker_id, signature)
                 fused = 0
-                for proc in proc_indices:
-                    fused += module.run_fused(proc, arrays)
-                barrier.wait(timeout=BARRIER_TIMEOUT)
-                peeled = 0
-                for proc in proc_indices:
-                    peeled += module.run_peeled(proc, arrays)
+                if sync_mode == "p2p":
+                    for proc in proc_indices:
+                        fused += module.run_fused(proc, arrays)
+                        p2p.signal_fused_done(proc)
+                    deps = module.peel_deps
+                    peeled = 0
+                    for proc in proc_indices:
+                        p2p.wait_for(deps[proc])
+                        peeled += module.run_peeled(proc, arrays)
+                else:
+                    for proc in proc_indices:
+                        fused += module.run_fused(proc, arrays)
+                    barrier.wait(timeout=sync_timeout())
+                    peeled = 0
+                    for proc in proc_indices:
+                        peeled += module.run_peeled(proc, arrays)
                 result_queue.put(
                     (worker_id, True, (fused, peeled, load_mode))
                 )
@@ -123,9 +155,13 @@ def _pool_worker(worker_id: int, task_queue, result_queue, barrier) -> None:
                 result_queue.put((worker_id, False,
                                   "barrier broken or aborted (a peer "
                                   "failed first)"))
+            except SyncAborted as exc:
+                result_queue.put((worker_id, False,
+                                  f"p2p sync aborted ({exc})"))
             except BaseException:
                 result_queue.put((worker_id, False, traceback.format_exc()))
                 barrier.abort()
+                p2p.abort()
         finally:
             del arrays
             for seg in segments:
@@ -138,7 +174,13 @@ class WorkerPool:
     The barrier is created with ``parties == nworkers`` and reused across
     runs (it resets after all parties pass); every run must therefore use
     every worker, which :func:`run_mpjit_module` guarantees by clamping
-    the worker count to the processor count.
+    the worker count to the processor count.  The p2p event table
+    (:data:`P2P_EVENT_SLOTS` fused-done events plus one abort event) is
+    preallocated at spawn time — sync primitives cannot travel through
+    the task queues — and indexed by *processor*, so it is reused across
+    runs of any plan that fits; the parent clears the used slots before
+    each p2p dispatch (runs are strictly serialized, every worker has
+    reported before the next dispatch).
     """
 
     def __init__(self, nworkers: int) -> None:
@@ -149,13 +191,15 @@ class WorkerPool:
         t0 = time.perf_counter()
         self.nworkers = nworkers
         self.barrier = ctx.Barrier(nworkers)
+        self.p2p = P2PSync([ctx.Event() for _ in range(P2P_EVENT_SLOTS)],
+                           ctx.Event())
         self.result_queue = ctx.Queue()
         self.task_queues = [ctx.Queue() for _ in range(nworkers)]
         self.workers = {
             w: ctx.Process(
                 target=_pool_worker,
                 args=(w, self.task_queues[w], self.result_queue,
-                      self.barrier),
+                      self.barrier, self.p2p),
                 daemon=True,
             )
             for w in range(nworkers)
@@ -166,30 +210,48 @@ class WorkerPool:
         self.runs = 0
         self.broken = False
         self.last_load_modes: tuple[str, ...] = ()
+        self.last_sync: Optional[str] = None
+        self._dirty_events = 0
 
     def healthy(self) -> bool:
         return not self.broken and all(
             proc.is_alive() for proc in self.workers.values()
         )
 
+    def abort(self) -> None:
+        """Release every waiter, whichever primitive it is parked on
+        (:func:`collect_worker_results` calls this on the first
+        casualty)."""
+        self.barrier.abort()
+        self.p2p.abort()
+
     def run_module(self, module, assignment: Sequence[Sequence[int]],
                    specs: Mapping[str, tuple],
-                   cache_root: Optional[str]) -> tuple[int, int]:
+                   cache_root: Optional[str],
+                   sync: str = "p2p") -> tuple[int, int]:
         """Submit one two-phase execution; returns (fused, peeled) totals.
 
-        Any worker failure marks the pool broken (the shared barrier is
-        aborted and cannot be reused) and re-raises promptly.
+        Any worker failure marks the pool broken (the shared sync
+        primitives are aborted and cannot be reused) and re-raises
+        promptly.
         """
         assert len(assignment) == self.nworkers
+        if sync == "p2p" and module.nprocs > len(self.p2p.events):
+            sync = "barrier"  # more processors than preallocated slots
+        if sync == "p2p":
+            for ev in self.p2p.events[:self._dirty_events]:
+                ev.clear()
+            self._dirty_events = module.nprocs
         self.runs += 1
+        self.last_sync = sync
         for w, procs in enumerate(assignment):
             self.task_queues[w].put(
                 (module.signature, cache_root, module.source, specs,
-                 tuple(procs))
+                 tuple(procs), sync)
             )
         try:
             results = collect_worker_results(
-                self.result_queue, self.workers, self.barrier, "mpjit"
+                self.result_queue, self.workers, self, "mpjit"
             )
         except FastExecError:
             self.broken = True
@@ -253,7 +315,7 @@ def pool_stats() -> dict:
     """Observability for benchmarks and the CLI: spawn cost vs reuse."""
     if _pool is None:
         return {"alive": False, "spawns": _spawns, "nworkers": 0,
-                "runs": 0, "spawn_seconds": 0.0}
+                "runs": 0, "spawn_seconds": 0.0, "last_sync": None}
     return {
         "alive": _pool.healthy(),
         "spawns": _spawns,
@@ -261,6 +323,8 @@ def pool_stats() -> dict:
         "runs": _pool.runs,
         "spawn_seconds": round(_pool.spawn_seconds, 6),
         "last_load_modes": list(_pool.last_load_modes),
+        "last_sync": _pool.last_sync,
+        "p2p_slots": P2P_EVENT_SLOTS,
     }
 
 
@@ -269,13 +333,18 @@ def run_mpjit_module(
     arrays: MutableMapping[str, np.ndarray],
     max_workers: Optional[int] = None,
     cache_root: Optional[str] = None,
+    sync: str = "p2p",
 ) -> dict[str, int]:
     """Execute a compiled :class:`JitModule` through the worker pool.
 
-    The processors are dealt round-robin across ``min(nprocs, cores)``
-    workers (``max_workers`` overrides the core count).  With one worker
-    the pool is bypassed entirely — the module runs serially in-process,
-    which is bit-identical by construction."""
+    ``sync="p2p"`` (default) synchronizes the phases point-to-point via
+    the module's ``PEEL_DEPS`` map; ``sync="barrier"`` uses the global
+    barrier.  The processors are dealt round-robin across
+    ``min(nprocs, cores)`` workers (``max_workers`` overrides the core
+    count).  With one worker the pool is bypassed entirely — the module
+    runs serially in-process, which is bit-identical by construction."""
+    if sync not in ("p2p", "barrier"):
+        raise FastExecError(f"unknown sync mode {sync!r}")
     nprocs = module.nprocs
     nworkers = _resolve_workers(nprocs, max_workers)
     if nworkers == 1:
@@ -288,13 +357,13 @@ def run_mpjit_module(
         ]
         pool = get_pool(nworkers)
         fused, peeled = pool.run_module(
-            module, assignment, specs, cache_root
+            module, assignment, specs, cache_root, sync=sync
         )
         copy_back_arrays(arrays, segments)
         return {"fused_iterations": fused, "peeled_iterations": peeled}
     except FastExecError:
-        # The shared barrier is aborted; drop the poisoned pool so the
-        # next run starts from a clean slate.
+        # The shared sync primitives are aborted; drop the poisoned pool
+        # so the next run starts from a clean slate.
         shutdown_pool()
         raise
     finally:
@@ -308,6 +377,7 @@ def run_mpjit(
     max_workers: Optional[int] = None,
     no_cache: bool = False,
     cache=None,
+    sync: str = "p2p",
 ) -> dict[str, int]:
     """The ``mpjit`` backend: compiled code, real parallel processes.
 
@@ -328,4 +398,4 @@ def run_mpjit(
         module = cache.get(exec_plan, strip=strip)
         cache_root = str(cache.root) if cache.persist else None
     return run_mpjit_module(module, arrays, max_workers=max_workers,
-                            cache_root=cache_root)
+                            cache_root=cache_root, sync=sync)

@@ -13,15 +13,32 @@ def _isolated_jit_cache(tmp_path, monkeypatch):
     """Point the jit plan cache at a per-test directory.
 
     Tests must never read (or pollute) the developer's ~/.cache/repro/jit;
-    the process-wide cache object is reset around each test so it picks up
-    the redirected environment variable.
+    the process-wide cache and auto-tuner objects are reset around each
+    test so they pick up the redirected environment variable (the tuner
+    store lives inside the plan-cache directory).
     """
     from repro.runtime import plancache
+    from repro.runtime.autotune import reset_default_tuner
 
     monkeypatch.setenv(plancache.ENV_CACHE_DIR, str(tmp_path / "jit-cache"))
     plancache.reset_default_cache()
+    reset_default_tuner()
     yield
     plancache.reset_default_cache()
+    reset_default_tuner()
+
+
+@pytest.fixture(autouse=True)
+def _bounded_sync_timeout(monkeypatch):
+    """Drop the 600 s sync backstop sharply under pytest.
+
+    A test that somehow defeats the parent's crash detection must fail
+    within seconds, not minutes.  Workers are forked after the variable
+    is set, so they inherit it.
+    """
+    from repro.runtime import fastexec
+
+    monkeypatch.setenv(fastexec.ENV_SYNC_TIMEOUT, "15")
 
 
 @pytest.fixture

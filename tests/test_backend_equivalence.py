@@ -4,9 +4,11 @@ Sweeps every registered kernel (and every sequence of the applications)
 through the ``vector``, ``jit`` and ``mpjit`` backends — strip-mined and
 whole-box — and spot-checks the ``mp`` backend, comparing arrays *bitwise*
 (``np.array_equal``, not allclose) against the ``interp`` reference, on odd
-shapes including empty and single-iteration ranges.  The mpjit runs force
-``max_workers=2`` so the pooled-parallel path executes even on a one-core
-host.  Also unit-tests the vectorized box executor
+shapes including empty and single-iteration ranges.  The mp/mpjit sweeps
+additionally run under both sync modes (point-to-point and barrier) —
+the sync protocol may only change scheduling, never bits.  The mpjit
+runs force ``max_workers=2`` so the pooled-parallel path executes even
+on a one-core host.  Also unit-tests the vectorized box executor
 on the awkward access patterns (diagonals, transposed subscripts, strided
 subscripts, reductions over a missing target variable, sequential
 dimensions).
@@ -114,6 +116,31 @@ class TestAllKernelsAllBackends:
         counts = _run_backend(plans, got, "mp", max_workers=2)
         _assert_identical(ref, got, (kernel, "mp"))
         assert counts == ref_counts
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_mpjit_sync_modes_bit_identical(self, kernel):
+        """Point-to-point neighbor sync must be bitwise indistinguishable
+        from the global barrier (and the interpreter) — the sync mode may
+        only change *when* a peeled phase starts, never what it computes."""
+        base, plans = _setup(kernel, 21, 3)
+        ref = copy_arrays(base)
+        ref_counts = _run_backend(plans, ref, "interp")
+        for sync in ("p2p", "barrier"):
+            got = copy_arrays(base)
+            counts = _run_backend(plans, got, "mpjit", max_workers=2,
+                                  sync=sync)
+            _assert_identical(ref, got, (kernel, "mpjit", sync))
+            assert counts == ref_counts, (kernel, sync)
+
+    @pytest.mark.parametrize("kernel", ["jacobi", "ll18"])
+    def test_mp_sync_modes_bit_identical(self, kernel):
+        base, plans = _setup(kernel, 21, 3)
+        ref = copy_arrays(base)
+        _run_backend(plans, ref, "interp")
+        for sync in ("p2p", "barrier"):
+            got = copy_arrays(base)
+            _run_backend(plans, got, "mp", max_workers=2, sync=sync)
+            _assert_identical(ref, got, (kernel, "mp", sync))
 
     @pytest.mark.slow
     @pytest.mark.parametrize("kernel", KERNEL_NAMES)

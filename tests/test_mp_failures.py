@@ -24,7 +24,14 @@ from repro.core import build_execution_plan, derive_shift_peel
 from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
 from repro.runtime import fastexec
 from repro.runtime import pool as pool_mod
-from repro.runtime.fastexec import FastExecError, _resolve_workers, run_mp
+from repro.runtime.fastexec import (
+    FastExecError,
+    P2PSync,
+    SyncAborted,
+    _resolve_workers,
+    run_mp,
+    sync_timeout,
+)
 from repro.runtime.pool import pool_stats, run_mpjit, shutdown_pool
 
 needs_fork = pytest.mark.skipif(
@@ -90,6 +97,62 @@ def leak_check():
     if shm_before is not None:
         leaked = _shm_entries() - shm_before
         assert not leaked, f"shared-memory segments leaked: {leaked}"
+
+
+class TestSyncTimeoutEnv:
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(fastexec.ENV_SYNC_TIMEOUT, "42.5")
+        assert sync_timeout() == 42.5
+
+    def test_garbage_and_nonpositive_fall_back(self, monkeypatch):
+        for bad in ("abc", "-3", "0", ""):
+            monkeypatch.setenv(fastexec.ENV_SYNC_TIMEOUT, bad)
+            assert sync_timeout() == fastexec.DEFAULT_SYNC_TIMEOUT
+        monkeypatch.delenv(fastexec.ENV_SYNC_TIMEOUT)
+        assert sync_timeout() == fastexec.DEFAULT_SYNC_TIMEOUT
+
+    def test_pytest_suite_runs_bounded(self):
+        """The conftest fixture must keep the backstop in seconds, not
+        minutes, for every test in this suite."""
+        assert sync_timeout() <= 15
+
+
+class TestP2PSyncUnit:
+    """Deterministic unit checks of the event protocol — no processes."""
+
+    def _sync(self, nprocs=3):
+        ctx = mp.get_context()
+        return P2PSync([ctx.Event() for _ in range(nprocs)], ctx.Event())
+
+    def test_wait_returns_once_preds_signalled(self):
+        sync = self._sync()
+        sync.signal_fused_done(0)
+        sync.signal_fused_done(2)
+        sync.wait_for((0, 2))  # must not block
+        sync.wait_for(())      # no predecessors: immediate
+
+    def test_abort_releases_waiter_promptly(self):
+        """A waiter parked on a never-signalled event must observe the
+        abort within the poll interval — the sub-0.2 s failure budget."""
+        sync = self._sync()
+        sync.abort()
+        t0 = time.monotonic()
+        with pytest.raises(SyncAborted, match="a peer failed first"):
+            sync.wait_for((1,))
+        assert time.monotonic() - t0 < 0.2
+
+    def test_timeout_raises_and_aborts_peers(self):
+        sync = self._sync()
+        with pytest.raises(SyncAborted, match="no fused-done signal"):
+            sync.wait_for((1,), timeout=0.15)
+        # the timed-out waiter released everyone else
+        assert sync.abort_event.is_set()
+
+    def test_unknown_sync_mode_rejected(self):
+        with pytest.raises(FastExecError, match="unknown sync mode"):
+            run_mp(_plan(), _arrays(), max_workers=2, sync="psychic")
+        with pytest.raises(FastExecError, match="unknown sync mode"):
+            run_mpjit(_plan(), _arrays(), max_workers=2, sync="psychic")
 
 
 class TestRunMpCrashSafety:
@@ -203,6 +266,112 @@ class TestMpjitCrashSafety:
         for name in ref:
             assert np.array_equal(ref[name], got[name]), name
         assert pool_stats()["alive"] is True
+
+
+class TestP2PCrashPropagation:
+    """Crashes on the point-to-point path: a worker dying *before* it
+    signals fused-done must fail its dependents promptly (via the parent
+    liveness poll + abort event), release shared memory and poison the
+    pool — never strand a waiter until the timeout backstop."""
+
+    @needs_fork
+    def test_mp_partial_fused_crash_releases_waiters(
+        self, monkeypatch, leak_check
+    ):
+        """Worker 0 (procs 0 and 2) dies after signaling proc 0 but
+        before proc 2; worker 1's peeled phase waits on proc 2's event
+        and must be released by the abort, not the 600 s backstop."""
+        real = fastexec._run_proc_fused
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1  # per-process state: fork copies it at zero
+            if calls["n"] == 2:
+                os._exit(29)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(fastexec, "_run_proc_fused", flaky)
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError) as excinfo:
+            run_mp(_plan(), _arrays(), max_workers=2, sync="p2p")
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+        assert "died without reporting" in str(excinfo.value)
+
+    @needs_fork
+    def test_mp_barrier_mode_crash_still_prompt(self, monkeypatch, leak_check):
+        """The explicit barrier path keeps the historical semantics."""
+        monkeypatch.setattr(fastexec, "_run_proc_fused",
+                            lambda *a, **k: os._exit(31))
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError, match="died without reporting"):
+            run_mp(_plan(), _arrays(), max_workers=2, sync="barrier")
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+
+    @needs_fork
+    def test_mpjit_crash_before_fused_done_poisons_pool(self, leak_check):
+        """A pool worker dying before any fused-done signal: dependents
+        fail fast, the pool is poisoned, and the next p2p run recovers
+        on a fresh pool."""
+        pool_mod._test_worker_hook = (
+            lambda worker_id, signature: os._exit(37)
+            if worker_id == 0 else None
+        )
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError) as excinfo:
+            run_mpjit(_plan(), _arrays(), max_workers=2, sync="p2p")
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+        assert "died without reporting" in str(excinfo.value)
+        assert pool_stats()["alive"] is False
+        pool_mod._test_worker_hook = None
+        run_mpjit(_plan(), _arrays(), max_workers=2, sync="p2p")
+        stats = pool_stats()
+        assert stats["alive"] is True
+        assert stats["last_sync"] == "p2p"
+
+    @needs_fork
+    def test_mpjit_exception_during_p2p_ships_traceback(self, leak_check):
+        def boom(worker_id, signature):
+            if worker_id == 1:
+                raise ValueError("injected-p2p-boom")
+
+        pool_mod._test_worker_hook = boom
+        t0 = time.monotonic()
+        with pytest.raises(FastExecError) as excinfo:
+            run_mpjit(_plan(), _arrays(), max_workers=2, sync="p2p")
+        assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
+        message = str(excinfo.value)
+        assert "injected-p2p-boom" in message
+        assert "Traceback" in message
+        assert pool_stats()["alive"] is False
+
+
+class TestP2PSlotFallback:
+    def test_plan_larger_than_event_table_uses_barrier(
+        self, monkeypatch, leak_check
+    ):
+        """A plan with more processors than preallocated event slots must
+        fall back to the global barrier for that run — and still produce
+        the reference bits."""
+        monkeypatch.setattr(pool_mod, "P2P_EVENT_SLOTS", 2)
+        ep = _plan(procs=3)
+        base = _arrays()
+        from repro.runtime import run_parallel
+
+        ref = {k: v.copy() for k, v in base.items()}
+        run_parallel(ep, ref)
+        got = {k: v.copy() for k, v in base.items()}
+        run_mpjit(ep, got, max_workers=2, sync="p2p")
+        assert pool_stats()["last_sync"] == "barrier"
+        for name in ref:
+            assert np.array_equal(ref[name], got[name]), name
+
+    def test_pool_stats_report_sync_and_slots(self, leak_check):
+        run_mpjit(_plan(), _arrays(), max_workers=2)
+        stats = pool_stats()
+        assert stats["last_sync"] == "p2p"
+        assert stats["p2p_slots"] >= stats["nworkers"]
+        run_mpjit(_plan(), _arrays(), max_workers=2, sync="barrier")
+        assert pool_stats()["last_sync"] == "barrier"
 
 
 class TestPoolLifecycle:

@@ -1,0 +1,174 @@
+"""The point-to-point sync map: sound, tight on neighbors, and emitted.
+
+``peel_predecessors`` replaces the global barrier between the fused and
+peeled phases, so its correctness budget is asymmetric: missing a real
+fused(q) -> peeled(p) dependence is a race, while an extra predecessor
+only costs waiting.  The soundness test therefore compares the
+rectangular-footprint map against an exact per-iteration oracle (every
+concrete read/write address of every phase, intersected directly) across
+kernels, sizes and processor counts, asserting the map is a superset of
+the oracle.  Tightness is only spot-checked on the paper's
+uniform-dependence kernels, where footprints are exact and the sets must
+collapse to the geometric neighbors.
+"""
+
+import pytest
+
+from repro.codegen.emitpy import compile_plan
+from repro.core import (
+    FusionLegalityError,
+    build_execution_plan,
+    derive_shift_peel,
+    max_processors,
+)
+from repro.core.syncdeps import peel_predecessors, phase_footprints
+from repro.kernels import all_kernels, get_kernel
+
+KERNEL_NAMES = sorted(info.name for info in all_kernels())
+
+
+def _plans(kernel, n, procs):
+    """Per-sequence execution plans (legality-clamped like the harness)."""
+    info = get_kernel(kernel)
+    program = info.program()
+    params = {p: n for p in program.params}
+    plans = []
+    for seq in program.sequences:
+        plan = derive_shift_peel(seq, tuple(program.params),
+                                 seq.fusable_depth())
+        legal = max_processors(plan, params)[0]
+        try:
+            plans.append(
+                build_execution_plan(plan, params,
+                                     num_procs=min(procs, legal))
+            )
+        except FusionLegalityError:
+            continue
+    if not plans:
+        pytest.skip(f"{kernel}: no sequence legal at n={n}")
+    return plans
+
+
+def _iter_box(box):
+    import itertools
+
+    if any(hi < lo for lo, hi in box):
+        return iter(())
+    return itertools.product(*(range(lo, hi + 1) for lo, hi in box))
+
+
+def _exact_addresses(nest, boxes, params):
+    """Every concrete (array, index-tuple) written/read over ``boxes``."""
+    writes, reads = set(), set()
+    for box in boxes:
+        for ivec in _iter_box(box):
+            env = dict(params)
+            for var, val in zip(nest.loop_vars, ivec):
+                env[var] = val
+            for ref in (r for st in nest.body for r in st.writes()):
+                writes.add((ref.array,
+                            tuple(s.eval(env) for s in ref.subscripts)))
+            for ref in (r for st in nest.body for r in st.reads()):
+                reads.add((ref.array,
+                           tuple(s.eval(env) for s in ref.subscripts)))
+    return writes, reads
+
+
+def _oracle_predecessors(exec_plan):
+    """Predecessor sets from exact addresses — no over-approximation."""
+    nests = list(exec_plan.plan.seq)
+    params = exec_plan.params
+    phases = []
+    for proc in exec_plan.processors:
+        fw, fr = set(), set()
+        for k, nest in enumerate(nests):
+            w, r = _exact_addresses(nest, [tuple(proc.fused[k])], params)
+            fw |= w
+            fr |= r
+        pw, pr = set(), set()
+        for rect in proc.peeled:
+            w, r = _exact_addresses(nests[rect.nest_idx], [rect.ranges],
+                                    params)
+            pw |= w
+            pr |= r
+        phases.append((fw, fr, pw, pr))
+    out = []
+    for p, (_, _, pw, pr) in enumerate(phases):
+        preds = set()
+        for q, (qw, qr, _, _) in enumerate(phases):
+            if q == p:
+                continue
+            if (qw & pr) or (qr & pw) or (qw & pw):
+                preds.add(q)
+        out.append(preds)
+    return out
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    @pytest.mark.parametrize("n,procs", [(13, 3), (21, 4)])
+    def test_map_covers_exact_dependences(self, kernel, n, procs):
+        """The conservative map must be a superset of the exact oracle —
+        a missed predecessor would be a data race under p2p sync."""
+        for ep in _plans(kernel, n, procs):
+            deps = peel_predecessors(ep)
+            oracle = _oracle_predecessors(ep)
+            assert len(deps) == len(ep.processors)
+            for p, exact in enumerate(oracle):
+                assert exact <= set(deps[p]), (
+                    f"{kernel} P={len(oracle)} proc {p}: map {deps[p]} "
+                    f"misses exact predecessors {exact - set(deps[p])}"
+                )
+
+    @pytest.mark.parametrize("kernel", KERNEL_NAMES)
+    def test_no_self_and_in_range(self, kernel):
+        for ep in _plans(kernel, 21, 4):
+            nprocs = len(ep.processors)
+            for p, preds in enumerate(peel_predecessors(ep)):
+                assert p not in preds
+                assert tuple(sorted(preds)) == preds
+                assert all(0 <= q < nprocs for q in preds)
+
+
+class TestNeighborhoods:
+    def test_1d_chain_depends_on_successor_only(self):
+        """ll18's 1-D blocks peel at the upper boundary: each processor
+        waits only on the block after it, and the last on nobody."""
+        [ep] = _plans("ll18", 33, 4)
+        deps = peel_predecessors(ep)
+        nprocs = len(ep.processors)
+        assert deps[nprocs - 1] == ()
+        for p in range(nprocs - 1):
+            assert deps[p] == (p + 1,)
+
+    def test_2d_grid_depends_on_neighbors_only(self):
+        """jacobi on a 2x2 grid: predecessors are grid neighbors, never
+        the full peer set, and the last processor waits on nobody."""
+        [ep] = _plans("jacobi", 33, 4)
+        deps = peel_predecessors(ep)
+        assert deps == ((1, 2, 3), (3,), (3,), ())
+
+    def test_single_processor_has_no_deps(self):
+        for kernel in ("jacobi", "ll18"):
+            for ep in _plans(kernel, 21, 1):
+                assert peel_predecessors(ep) == ((),)
+
+    def test_footprints_shape(self):
+        [ep] = _plans("jacobi", 21, 4)
+        fps = phase_footprints(ep)
+        assert len(fps) == len(ep.processors)
+        for fw, fr, _pw, _pr in fps:
+            # every fused block both reads and writes something
+            assert fw and fr
+
+
+class TestCodegenEmission:
+    def test_module_peel_deps_matches_analysis(self):
+        """Generated modules carry PEEL_DEPS identical to the analysis —
+        the pool trusts the module, so the two must never diverge."""
+        for kernel, procs in (("jacobi", 4), ("ll18", 3)):
+            for ep in _plans(kernel, 21, procs):
+                module = compile_plan(ep)
+                assert module.peel_deps == peel_predecessors(ep)
+                assert "PEEL_DEPS" in module.source
+                assert module.nprocs == len(module.peel_deps)
