@@ -9,6 +9,8 @@ Usage::
     python -m repro exec KERNEL [--backend interp|vector|mp|jit|mpjit]
                          [--n N] [--sync p2p|barrier] [--autotune]
     python -m repro bench [--smoke] [--repeats R] [--run-dir DIR] [--trend]
+    python -m repro serve [--port P | --socket PATH] [--max-queue Q]
+    python -m repro loadgen [--concurrency N] [--duration S]
     python -m repro experiment NAME        # table1, table2, fig18..fig26
     python -m repro list
 
@@ -18,7 +20,10 @@ a legality/profitability report; ``simulate`` runs a kernel on a simulated
 machine; ``exec`` really executes a kernel through one of the runtime
 backends and reports wall-clock time plus a checksum; ``bench`` runs the
 whole fastexec suite into an immutable ``results/<run_id>/`` telemetry
-directory; ``experiment`` regenerates one table/figure.
+directory; ``serve`` runs the long-lived compile-and-execute daemon
+(one shared plan cache and worker pool for all clients); ``loadgen``
+drives a running daemon and records service latency telemetry;
+``experiment`` regenerates one table/figure.
 """
 
 from __future__ import annotations
@@ -119,11 +124,21 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_exec(args: argparse.Namespace) -> int:
-    """``repro exec``: really run a kernel through a runtime backend."""
+    """``repro exec``: really run a kernel through a runtime backend.
+
+    ``--json PATH`` also writes the record as JSON; ``--json -`` writes
+    it to **stdout** (the human-readable report moves to stderr), so
+    pipelines and external clients consume records without temp files.
+    """
+    import builtins
+    import functools
     import json
 
     from .runtime.benchmarking import measure_kernel
 
+    json_to_stdout = args.json == "-"
+    print = functools.partial(  # noqa: A001 - deliberate local rebind
+        builtins.print, file=sys.stderr if json_to_stdout else sys.stdout)
     record = measure_kernel(
         args.kernel,
         args.backend,
@@ -178,7 +193,10 @@ def cmd_exec(args: argparse.Namespace) -> int:
             print("  worker pool: bypassed (one worker resolved; "
                   "ran the compiled module serially)")
     print(f"  checksum {record['checksum']}")
-    if args.json:
+    if json_to_stdout:
+        json.dump(record, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -214,6 +232,98 @@ def cmd_bench(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(stamped, indent=2, sort_keys=True) + "\n")
         print(f"  also wrote {out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the long-lived compile-and-execute daemon."""
+    import asyncio
+
+    from .serve.server import FusionServer, ServerConfig
+
+    weights: dict[str, float] = {}
+    for spec in args.tenant_weight or ():
+        name, _, raw = spec.partition("=")
+        try:
+            weight = float(raw)
+        except ValueError:
+            weight = 0.0
+        if not name or weight <= 0:
+            print(f"bad --tenant-weight {spec!r} (want NAME=WEIGHT with "
+                  f"a positive weight)", file=sys.stderr)
+            return 2
+        weights[name] = weight
+    config = ServerConfig(
+        host=args.host, port=args.port, socket_path=args.socket,
+        max_queue=args.max_queue, max_batch=args.max_batch,
+        tenant_weights=weights,
+    )
+
+    def announce(address: str) -> None:
+        print(f"repro-serve listening on {address} "
+              f"(max queue {config.max_queue}, max batch "
+              f"{config.max_batch})", flush=True)
+
+    server = FusionServer(config, on_listening=announce)
+    try:
+        asyncio.run(server.serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive ^C race
+        pass
+    print(f"repro-serve drained: {server.stats['completed']} completed, "
+          f"{server.admission.stats['batched_requests']} batched, "
+          f"{server.admission.stats['shed_queue_full'] + server.admission.stats['shed_deadline']} shed",
+          flush=True)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """``repro loadgen``: drive a daemon, record service telemetry."""
+    import json
+    from pathlib import Path
+
+    from .serve.loadgen import run_loadgen
+
+    say = print if args.json != "-" else (
+        lambda message: print(message, file=sys.stderr))
+    try:
+        payload, _run_dir = run_loadgen(
+            kernel=args.kernel, n=args.n, procs=args.procs,
+            backend=args.backend, strip=args.strip, sync=args.sync,
+            host=args.host, port=args.port, socket_path=args.socket,
+            concurrency=args.concurrency, duration=args.duration,
+            deadline_ms=args.deadline_ms, tenants=args.tenants,
+            results_root=None if args.no_store else Path(args.run_dir),
+            progress=say,
+        )
+    except (OSError, RuntimeError) as exc:
+        print(f"loadgen failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif args.json:
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        say(f"  wrote {args.json}")
+    entry = payload["entries"][0]
+    if entry["checksum_mismatches"]:
+        print(f"loadgen: {entry['checksum_mismatches']} responses "
+              f"disagreed with the direct-exec checksum", file=sys.stderr)
+        return 3
+    if entry["client_failures"]:
+        print(f"loadgen: worker failures: {entry['client_failures']}",
+              file=sys.stderr)
+        return 2
+    if not entry["requests"]["ok"]:
+        print("loadgen: no successful responses", file=sys.stderr)
+        return 2
+    if args.require_batching:
+        server = payload.get("server") or {}
+        batched = server.get("admission", {}).get("batched_requests", 0)
+        if not batched:
+            print("loadgen: --require-batching set but the server "
+                  "coalesced nothing", file=sys.stderr)
+            return 4
     return 0
 
 
@@ -341,6 +451,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--last", type=int, default=None, metavar="N",
                    help="with --trend: only the N most recent runs")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("serve",
+                       help="run the compile-and-execute service daemon "
+                            "(newline-delimited JSON over TCP or a unix "
+                            "socket; one shared plan cache and worker "
+                            "pool for all clients)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7455,
+                   help="TCP port (0 picks a free one; the bound address "
+                        "is printed on startup)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="serve on a unix domain socket instead of TCP")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission bound: requests queued beyond this "
+                        "are shed with an 'overloaded' response")
+    p.add_argument("--max-batch", type=int, default=16,
+                   help="most identical-signature requests coalesced "
+                        "into one compile-once run-back-to-back batch")
+    p.add_argument("--tenant-weight", action="append", metavar="NAME=W",
+                   help="weighted fair share for a tenant (repeatable; "
+                        "unlisted tenants weigh 1)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("loadgen",
+                       help="drive a running daemon with closed-loop "
+                            "clients and record sustained req/s + "
+                            "p50/p95/p99 + deadline-miss telemetry")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7455)
+    p.add_argument("--socket", default=None, metavar="PATH")
+    p.add_argument("--kernel", default="jacobi",
+                   choices=sorted(k.name for k in all_kernels()))
+    p.add_argument("--n", type=int, default=65)
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--backend", default="jit",
+                   choices=available_backends())
+    p.add_argument("--strip", type=int, default=None)
+    p.add_argument("--sync", default=None, choices=("p2p", "barrier"))
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="closed-loop worker connections")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="measured seconds (a warm-up request runs first)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-request deadline: the daemon sheds "
+                        "hopeless requests, the report counts misses")
+    p.add_argument("--tenants", type=int, default=1,
+                   help="spread workers across this many tenant names")
+    p.add_argument("--run-dir", default="benchmarks/results",
+                   help="results root for the immutable service run dir")
+    p.add_argument("--no-store", action="store_true",
+                   help="skip writing the run dir")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the telemetry payload ('-' for "
+                        "stdout; progress then goes to stderr)")
+    p.add_argument("--require-batching", action="store_true",
+                   help="exit 4 unless the server reports "
+                        "batched_requests > 0 (CI asserts coalescing)")
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser("experiment", help="regenerate one table/figure")
     p.add_argument("name")

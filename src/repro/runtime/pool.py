@@ -209,6 +209,7 @@ class WorkerPool:
         self.spawn_seconds = time.perf_counter() - t0
         self.runs = 0
         self.broken = False
+        self.closed = False
         self.last_load_modes: tuple[str, ...] = ()
         self.last_sync: Optional[str] = None
         self._dirty_events = 0
@@ -264,7 +265,16 @@ class WorkerPool:
         return fused, peeled
 
     def shutdown(self) -> None:
-        """Stop every worker (sentinel, then terminate stragglers)."""
+        """Stop every worker (sentinel, then terminate stragglers).
+
+        Idempotent: a second call returns immediately, so a daemon's
+        SIGTERM drain path and the interpreter's atexit hook can both
+        call it without double-closing queues or re-terminating
+        already-reaped processes.
+        """
+        if self.closed:
+            return
+        self.closed = True
         for q in self.task_queues:
             try:
                 q.put(None)
@@ -279,8 +289,15 @@ class WorkerPool:
         for proc in self.workers.values():
             proc.join(timeout=5)
         for q in [self.result_queue, *self.task_queues]:
-            q.close()
+            try:
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                pass
         self.broken = True
+
+    #: Explicit alias for daemon shutdown paths: ``pool.close()`` reads
+    #: naturally next to file/socket teardown and is equally idempotent.
+    close = shutdown
 
 
 _pool: Optional[WorkerPool] = None

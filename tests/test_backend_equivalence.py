@@ -399,3 +399,21 @@ class TestCliExec:
         assert record["iterations"] > 0
         assert len(record["checksum"]) == 16
         assert "checksum" in capsys.readouterr().out
+
+    def test_exec_json_to_stdout(self, capsys):
+        """``--json -`` makes stdout pure machine-readable JSON; the
+        human narration moves to stderr so pipelines stay parseable."""
+        from repro.cli import main as cli_main
+
+        rc = cli_main([
+            "exec", "jacobi", "--backend", "vector", "--n", "21",
+            "--repeat", "1", "--verify", "--json", "-",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        import json
+
+        record = json.loads(captured.out)  # stdout is ONLY the record
+        assert record["kernel"] == "jacobi"
+        assert len(record["checksum"]) == 16
+        assert "checksum" in captured.err  # narration intact, on stderr

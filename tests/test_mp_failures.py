@@ -411,3 +411,32 @@ class TestPoolLifecycle:
         run_mpjit(_plan(), _arrays(), max_workers=2)
         shutdown_pool()
         assert _shm_entries() - before == set()
+
+    def test_shutdown_is_idempotent(self, leak_check):
+        """A daemon's SIGTERM drain and the atexit hook may both reach
+        the pool: the second (and third) close must be a silent no-op,
+        not a double-close of queues or re-terminate of reaped workers."""
+        run_mpjit(_plan(), _arrays(), max_workers=2)
+        pool = pool_mod._pool
+        assert pool is not None and not pool.closed
+        pool.close()          # the explicit daemon-facing alias
+        assert pool.closed
+        pool.close()          # second call: no-op
+        pool.shutdown()       # and via the original name too
+        assert all(not p.is_alive() for p in pool.workers.values())
+        # The module-level teardown is equally reentrant, including
+        # after the pool object itself was already closed.
+        shutdown_pool()
+        shutdown_pool()
+        assert pool_stats()["alive"] is False
+
+    def test_pool_respawns_after_close(self, leak_check):
+        """Closing the pool must not poison the process: the next run
+        transparently spawns a fresh pool."""
+        run_mpjit(_plan(), _arrays(), max_workers=2)
+        spawns = pool_stats()["spawns"]
+        shutdown_pool()
+        counters = run_mpjit(_plan(), _arrays(), max_workers=2)
+        assert counters["fused_iterations"] > 0
+        assert pool_stats()["spawns"] == spawns + 1
+        assert pool_stats()["alive"] is True

@@ -230,3 +230,76 @@ class TestWarmExecOverhead:
         warm = measure_kernel("ll18", "jit", n=17, procs=2, repeat=1)
         assert cold["checksum"] == warm["checksum"]
         assert warm["plan_seconds"] == 0.0
+
+
+class TestConcurrentCache:
+    """Many processes hammering one cache directory (the daemon serves
+    concurrent tenants, and several daemons may share a cache)."""
+
+    CHILD = r"""
+import sys
+from repro.core import build_execution_plan, derive_shift_peel, max_processors
+from repro.kernels import get_kernel
+from repro.runtime.plancache import PlanCache
+
+root = sys.argv[1]
+info = get_kernel("jacobi")
+program = info.program()
+seq = program.sequences[0]
+plan = derive_shift_peel(seq, tuple(program.params), seq.fusable_depth())
+params = {p: 33 for p in program.params}
+legal = max_processors(plan, params)[0]
+ep = build_execution_plan(plan, params, num_procs=min(2, legal))
+cache = PlanCache(root=root)
+signatures = set()
+for _ in range(8):
+    module = cache.get(ep)          # races the atomic tmp+rename write
+    signatures.add(module.signature)
+    cache.link_alias("stress-key", [module.signature])
+    cache.clear_memory()            # force the disk path next round
+    modules = cache.lookup_alias("stress-key")
+    assert modules is not None, "alias unreadable mid-race"
+    assert modules[0].signature == module.signature
+assert len(signatures) == 1, signatures
+print(signatures.pop())
+"""
+
+    def test_multiprocess_stress_leaves_consistent_cache(self, tmp_path):
+        """Six processes x eight rounds of get/link_alias/lookup_alias
+        against one directory: every process sees one stable signature,
+        the surviving entry compiles, and no temp files leak."""
+        import json as json_mod
+        import os
+        import subprocess
+        import sys as sys_mod
+        from pathlib import Path
+
+        root = tmp_path / "shared-cache"
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ, PYTHONPATH=src)
+        procs = [
+            subprocess.Popen(
+                [sys_mod.executable, "-c", self.CHILD, str(root)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, env=env)
+            for _ in range(6)
+        ]
+        outputs = [p.communicate(timeout=120) for p in procs]
+        for p, (out, err) in zip(procs, outputs):
+            assert p.returncode == 0, err
+        signatures = {out.strip() for out, _ in outputs}
+        assert len(signatures) == 1
+        signature = signatures.pop()
+        expected = _kernel_plan(n=33, procs=2).signature()
+        assert signature == expected
+        # The surviving on-disk entry is intact and self-consistent.
+        cache = PlanCache(root=root)
+        source = cache.source_path(signature).read_text(encoding="utf-8")
+        module = compile_source(source, expected_signature=signature)
+        assert module.signature == signature
+        alias = json_mod.loads(
+            cache.alias_path("stress-key").read_text(encoding="utf-8"))
+        assert alias == [signature]
+        # Atomic writes: no orphaned .tmp<pid> files anywhere.
+        stray = [p for p in root.rglob("*") if ".tmp" in p.name]
+        assert stray == []

@@ -1,0 +1,501 @@
+"""The service daemon: protocol, admission control, batching, the
+asyncio server end-to-end, graceful drain and the load generator."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.autotune import AutoTuner, tuning_key
+from repro.runtime.benchmarking import (
+    execute_prepared,
+    prepare_kernel,
+    resolve_params,
+)
+from repro.serve.admission import AdmissionController, CostModel, QueuedRequest
+from repro.serve.client import ServeClient
+from repro.serve.protocol import (
+    ProtocolError,
+    STATUS_DRAINING,
+    STATUS_OVERLOADED,
+    decode_line,
+    encode_message,
+    parse_request,
+)
+from repro.serve.server import FusionServer, ServerConfig
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ---------------------------------------------------------------------------
+# protocol
+
+
+class TestProtocol:
+    def test_exec_round_trip(self):
+        req = parse_request(
+            b'{"op": "exec", "id": 7, "kernel": "jacobi", "n": 65,'
+            b' "procs": 4, "tenant": "a", "deadline_ms": 250}')
+        assert req.op == "exec"
+        assert req.id == 7
+        assert req.tenant == "a"
+        assert req.deadline_ms == 250.0
+        assert req.key.kernel == "jacobi"
+        assert req.key.n == 65
+        assert req.key.backend == "jit"  # the default
+        assert req.wants_execution
+
+    def test_status_needs_no_kernel(self):
+        req = parse_request('{"op": "status", "id": "s1"}')
+        assert req.key is None
+        assert not req.wants_execution
+
+    @pytest.mark.parametrize("line, fragment", [
+        (b"not json", "not valid JSON"),
+        (b"[1, 2]", "JSON object"),
+        (b'{"op": "frob", "id": 1}', "op must be one of"),
+        (b'{"op": "exec", "kernel": "jacobi"}', "needs an id"),
+        (b'{"op": "exec", "id": 1}', "needs a kernel"),
+        (b'{"op": "exec", "id": 1, "kernel": "jacobi", "dedline_ms": 9}',
+         "unknown request fields"),
+        (b'{"op": "exec", "id": 1, "kernel": "jacobi", "deadline_ms": -1}',
+         "deadline_ms"),
+        (b'{"op": "exec", "id": 1, "kernel": "jacobi", "procs": 0}',
+         "procs"),
+        (b'{"op": "exec", "id": 1, "kernel": "jacobi", "sync": "psp"}',
+         "sync"),
+        (b'{"op": "status", "id": 1, "kernel": "jacobi"}', "meaningless"),
+        (b'{"op": "exec", "id": true, "kernel": "jacobi"}', "id must be"),
+    ])
+    def test_rejects_malformed(self, line, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            parse_request(line)
+
+    def test_encode_decode(self):
+        wire = encode_message({"id": 1, "ok": True, "status": "ok"})
+        assert wire.endswith(b"\n")
+        assert b"\n" not in wire[:-1]
+        assert decode_line(wire) == {"id": 1, "ok": True, "status": "ok"}
+
+
+# ---------------------------------------------------------------------------
+# admission control, fairness, batching, cost model
+
+
+def _req(tenant="default", sig="sig-a", deadline_ms=None, kernel="jacobi",
+         n=33, procs=2):
+    request = parse_request(json.dumps({
+        "op": "exec", "id": f"{tenant}-{time.monotonic_ns()}",
+        "kernel": kernel, "n": n, "procs": procs, "tenant": tenant,
+        **({"deadline_ms": deadline_ms} if deadline_ms else {}),
+    }))
+    return QueuedRequest(request=request, signature=sig)
+
+
+class TestAdmission:
+    def test_bounded_queue_sheds(self):
+        adm = AdmissionController(max_queue=2)
+        assert adm.try_admit(_req())[0]
+        assert adm.try_admit(_req())[0]
+        admitted, reason = adm.try_admit(_req())
+        assert not admitted
+        assert "queue full" in reason
+        assert adm.stats["shed_queue_full"] == 1
+
+    def test_measured_cost_drives_deadline_shed(self):
+        """A known-expensive signature sheds hopeless deadlines; the
+        same deadline is accepted while the signature is cold."""
+        adm = AdmissionController(max_queue=64)
+        # Cold: no estimate, no evidence to shed on -> accept.
+        assert adm.try_admit(_req(sig="hot", deadline_ms=5.0))[0]
+        # Now the daemon has measured this signature at 100 ms each.
+        adm.cost_model.observe("hot", 0.1)
+        admitted, reason = adm.try_admit(_req(sig="hot", deadline_ms=5.0))
+        assert not admitted
+        assert "projected wait" in reason
+        assert adm.stats["shed_deadline"] == 1
+        # A roomy deadline still gets in behind the queued work.
+        assert adm.try_admit(_req(sig="hot", deadline_ms=10_000.0))[0]
+
+    def test_autotune_winner_seeds_projected_wait(self):
+        """Satellite: a persisted auto-tuner winner's measured cost is
+        the projected-wait estimate before the daemon has run anything;
+        a cold (no-winner) config falls back to accept."""
+        from repro.kernels import get_kernel
+
+        tuner = AutoTuner(persist=False)
+        info = get_kernel("jacobi")
+        program = info.program()
+        params = resolve_params(info, program, n=33)
+        key = tuning_key(program, params, 2)
+        tuner.store(key, {
+            "schema": "repro-autotune/1",
+            "winner": {"config": {"backend": "jit"}, "seconds": 0.25},
+        })
+        model = CostModel(tuner=tuner)
+        adm = AdmissionController(max_queue=64, cost_model=model)
+        # One queued request of the tuned config = 250 ms of projected
+        # work; a 50 ms deadline behind it is hopeless.
+        assert adm.try_admit(_req(sig="tuned", n=33, procs=2))[0]
+        admitted, reason = adm.try_admit(
+            _req(sig="tuned", n=33, procs=2, deadline_ms=50.0))
+        assert not admitted
+        assert "projected wait" in reason
+        # The estimate came from the tuner, not from observations.
+        assert model.snapshot()["tuner_seeded"] == 1
+        # Cold config (different shape, no winner): accepted.
+        adm2 = AdmissionController(max_queue=64, cost_model=CostModel(tuner))
+        assert adm2.try_admit(_req(sig="cold", n=65, procs=4))[0]
+        assert adm2.try_admit(
+            _req(sig="cold", n=65, procs=4, deadline_ms=1.0))[0]
+
+    def test_weighted_fair_dequeue(self):
+        """Weight 2 drains twice as often as weight 1 under contention."""
+        adm = AdmissionController(max_queue=64, weights={"heavy": 2.0})
+        for _ in range(8):
+            assert adm.try_admit(_req(tenant="heavy", sig="h"))[0]
+        for _ in range(8):
+            assert adm.try_admit(_req(tenant="light", sig="l"))[0]
+        order = []
+        # Disable coalescing noise: each batch has one member because
+        # tenants use distinct signatures and max_batch=1.
+        adm.max_batch = 1
+        for _ in range(6):
+            batch = adm.next_batch()
+            order.append(batch.requests[0].request.tenant)
+        assert order.count("heavy") == 4
+        assert order.count("light") == 2
+
+    def test_idle_tenant_reenters_at_vtime(self):
+        """A tenant that was idle cannot cash in saved-up credit and
+        starve the tenant that kept the daemon busy."""
+        adm = AdmissionController(max_queue=64)
+        adm.max_batch = 1
+        for _ in range(4):
+            adm.try_admit(_req(tenant="busy", sig="b"))
+            adm.next_batch()
+        adm.try_admit(_req(tenant="busy", sig="b"))
+        adm.try_admit(_req(tenant="late", sig="zz"))
+        first = adm.next_batch().requests[0].request.tenant
+        second = adm.next_batch().requests[0].request.tenant
+        assert {first, second} == {"busy", "late"}
+
+    def test_batch_coalesces_identical_signatures_across_tenants(self):
+        adm = AdmissionController(max_queue=64, max_batch=16)
+        adm.try_admit(_req(tenant="a", sig="same"))
+        adm.try_admit(_req(tenant="b", sig="same"))
+        adm.try_admit(_req(tenant="a", sig="other"))
+        adm.try_admit(_req(tenant="c", sig="same"))
+        batch = adm.next_batch()
+        assert batch.signature == "same"
+        assert len(batch) == 3
+        assert adm.depth == 1
+        assert adm.stats["batched_requests"] == 2
+        leftover = adm.next_batch()
+        assert leftover.signature == "other"
+        assert len(leftover) == 1
+        assert adm.depth == 0
+
+    def test_max_batch_bounds_coalescing(self):
+        adm = AdmissionController(max_queue=64, max_batch=3)
+        for _ in range(5):
+            adm.try_admit(_req(sig="same"))
+        assert len(adm.next_batch()) == 3
+        assert len(adm.next_batch()) == 2
+
+    def test_riders_are_charged_to_their_tenants(self):
+        """Coalescing must not let a tenant ride for free: its pass
+        advances for every batched request it contributed."""
+        adm = AdmissionController(max_queue=64)
+        for _ in range(3):
+            adm.try_admit(_req(tenant="a", sig="same"))
+        adm.try_admit(_req(tenant="b", sig="solo"))
+        batch = adm.next_batch()
+        assert len(batch) == 3  # all of tenant a, coalesced
+        assert adm._pass["a"] == pytest.approx(3.0)
+        assert adm.next_batch().requests[0].request.tenant == "b"
+
+    def test_cost_model_ewma(self):
+        model = CostModel()
+        assert model.estimate("s") is None
+        model.observe("s", 1.0)
+        model.observe("s", 2.0)
+        est = model.estimate("s")
+        assert 1.0 < est < 2.0
+
+
+# ---------------------------------------------------------------------------
+# the daemon end-to-end (in-process, unix socket)
+
+
+class ServerHarness:
+    """FusionServer on a background thread + unix socket."""
+
+    def __init__(self, **config):
+        # tmp_path can exceed the ~104-char AF_UNIX limit; use a short
+        # private dir instead.
+        self._dir = tempfile.mkdtemp(prefix="repro-serve-")
+        self.socket_path = os.path.join(self._dir, "s.sock")
+        config.setdefault("grace_seconds", 0.05)
+        self.server = FusionServer(
+            ServerConfig(socket_path=self.socket_path, **config))
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.server.serve()), daemon=True)
+        self.thread.start()
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(self.socket_path):
+            if time.monotonic() > deadline:
+                raise RuntimeError("daemon never bound its socket")
+            time.sleep(0.01)
+
+    def client(self) -> ServeClient:
+        return ServeClient(socket_path=self.socket_path)
+
+    def stop(self):
+        if self.thread.is_alive():
+            try:
+                with self.client() as c:
+                    c.drain()
+            except OSError:
+                pass
+        self.thread.join(timeout=15)
+        assert not self.thread.is_alive()
+
+
+@pytest.fixture
+def harness():
+    h = ServerHarness(max_queue=32)
+    yield h
+    h.stop()
+
+
+class TestServerEndToEnd:
+    def test_exec_matches_direct_execution(self, harness):
+        with harness.client() as c:
+            resp = c.exec("jacobi", req_id=1, n=33, procs=2, backend="jit")
+        assert resp["ok"], resp
+        result = resp["result"]
+        prep = prepare_kernel("jacobi", n=33, procs=2, backend="vector")
+        _s, counters, digest = execute_prepared(prep, "vector")
+        assert result["checksum"] == digest
+        assert result["iterations"] == (counters["fused_iterations"]
+                                        + counters["peeled_iterations"])
+        assert result["shape"] == "n=33"
+        assert result["queue_ms"] >= 0
+
+    def test_compile_then_exec_reuses_prepared_plan(self, harness):
+        with harness.client() as c:
+            compiled = c.compile("jacobi", req_id="c", n=33, procs=2)
+            assert compiled["ok"], compiled
+            assert compiled["result"]["signatures"]
+            first = c.exec("jacobi", req_id=1, n=33, procs=2)
+            second = c.exec("jacobi", req_id=2, n=33, procs=2)
+            status = c.status()["result"]
+        assert first["result"]["checksum"] == second["result"]["checksum"]
+        # One prepared entry serves the execs; compile has its own
+        # signature prefix but shares the plan cache underneath.
+        assert status["prepared"]["entries"] == 2
+        assert status["completed"] == 3
+
+    def test_unknown_kernel_and_backend_are_clean_errors(self, harness):
+        with harness.client() as c:
+            bad_kernel = c.exec("nope", req_id=1, n=33)
+            bad_backend = c.exec("jacobi", req_id=2, n=33,
+                                 backend="warp-drive")
+            garbage = c.request({"op": "exec", "id": 3})
+        assert not bad_kernel["ok"]
+        assert "unknown kernel" in bad_kernel["error"]
+        assert not bad_backend["ok"]
+        assert "unknown backend" in bad_backend["error"]
+        assert not garbage["ok"]
+        # The connection survived all three.
+
+    def test_pipelined_identical_requests_batch(self, harness):
+        """A slow head request holds the executor while identical
+        requests pile up behind it — they must coalesce."""
+        with harness.client() as c:
+            # Head: a distinct, slower signature (vector, bigger shape).
+            messages = [{"op": "exec", "id": "head", "kernel": "jacobi",
+                         "n": 255, "procs": 2, "backend": "vector"}]
+            messages += [
+                {"op": "exec", "id": f"r{i}", "kernel": "jacobi",
+                 "n": 33, "procs": 2, "backend": "jit"}
+                for i in range(8)
+            ]
+            for message in messages:
+                c._file.write(encode_message(message))
+            c._file.flush()
+            responses = [decode_line(c._file.readline())
+                         for _ in messages]
+            status = c.status()["result"]
+        by_id = {r["id"]: r for r in responses}
+        assert all(r["ok"] for r in responses), responses
+        checksums = {by_id[f"r{i}"]["result"]["checksum"] for i in range(8)}
+        assert len(checksums) == 1
+        assert status["admission"]["batched_requests"] > 0
+        assert any(by_id[f"r{i}"]["result"]["batched"] for i in range(8))
+
+    def test_overload_sheds_instead_of_queueing_unboundedly(self):
+        h = ServerHarness(max_queue=2)
+        try:
+            with h.client() as c:
+                messages = [{"op": "exec", "id": "head", "kernel": "jacobi",
+                             "n": 255, "procs": 2, "backend": "vector"}]
+                messages += [
+                    {"op": "exec", "id": f"r{i}", "kernel": "jacobi",
+                     "n": 33, "procs": 2}
+                    for i in range(12)
+                ]
+                for message in messages:
+                    c._file.write(encode_message(message))
+                c._file.flush()
+                responses = [decode_line(c._file.readline())
+                             for _ in messages]
+            shed = [r for r in responses
+                    if r["status"] == STATUS_OVERLOADED]
+            served = [r for r in responses if r["ok"]]
+            assert shed, "a 2-deep queue fed 13 requests must shed"
+            assert served, "the queue must still serve what it admitted"
+            for r in shed:
+                assert "queue" in r["error"] or "wait" in r["error"]
+                assert r["queue_depth"] <= 2
+        finally:
+            h.stop()
+
+    def test_drain_finishes_inflight_then_refuses(self, harness):
+        with harness.client() as c:
+            ok = c.exec("jacobi", req_id=1, n=33, procs=2)
+            assert ok["ok"]
+            drained = c.drain()
+            assert drained["ok"]
+            assert drained["result"]["drained"] is True
+        harness.thread.join(timeout=15)
+        assert not harness.thread.is_alive()
+
+    def test_draining_rejects_new_work(self):
+        h = ServerHarness(max_queue=8)
+        try:
+            h.server.begin_drain()
+            with h.client() as c:
+                resp = c.exec("jacobi", req_id=1, n=33, procs=2)
+            assert resp["status"] == STATUS_DRAINING
+        finally:
+            h.stop()
+
+
+# ---------------------------------------------------------------------------
+# SIGTERM drain (real process)
+
+
+class TestSigtermDrain:
+    def test_sigterm_drains_inflight_before_exit(self, tmp_path):
+        """Admitted requests get responses even when SIGTERM lands
+        while they are queued; the daemon then exits 0."""
+        short_dir = tempfile.mkdtemp(prefix="repro-sigterm-")
+        sock = os.path.join(short_dir, "d.sock")
+        env = dict(os.environ,
+                   PYTHONPATH=SRC,
+                   REPRO_JIT_CACHE_DIR=str(tmp_path / "daemon-cache"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            with ServeClient(socket_path=sock) as c:
+                # Pipeline several requests, confirm the daemon is
+                # mid-stream by reading the first response, THEN
+                # deliver SIGTERM while the rest are still queued.
+                for i in range(5):
+                    c._file.write(encode_message(
+                        {"op": "exec", "id": i, "kernel": "jacobi",
+                         "n": 33, "procs": 2}))
+                c._file.flush()
+                first = decode_line(c._file.readline())
+                assert first["ok"], first
+                proc.send_signal(signal.SIGTERM)
+                responses = [decode_line(c._file.readline())
+                             for _ in range(4)]
+            # Every admitted request was answered; any line the drain
+            # beat to admission is refused, not dropped.
+            for r in responses:
+                assert r["ok"] or r["status"] == STATUS_DRAINING, r
+            assert proc.wait(timeout=20) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+# ---------------------------------------------------------------------------
+# the load generator
+
+
+class TestLoadgen:
+    def test_loadgen_records_service_telemetry(self, tmp_path):
+        from repro.bench.store import read_trajectory
+        from repro.serve.loadgen import run_loadgen
+
+        h = ServerHarness(max_queue=32)
+        results = tmp_path / "results"
+        try:
+            payload, run_dir = run_loadgen(
+                kernel="jacobi", n=33, procs=2, backend="jit",
+                socket_path=h.socket_path, concurrency=4, duration=1.0,
+                deadline_ms=5_000.0, tenants=2, results_root=results,
+                progress=None,
+            )
+        finally:
+            h.stop()
+        entry = payload["entries"][0]
+        assert entry["backend"] == "serve-jit"
+        assert entry["requests"]["ok"] > 0
+        assert entry["checksum_mismatches"] == 0
+        assert not entry["client_failures"]
+        # Tail-latency fields the ROADMAP item 5 wiring promises.
+        for field in ("p50_seconds", "p95_seconds", "p99_seconds",
+                      "deadline_misses", "median_seconds", "jitter"):
+            assert field in entry
+        assert entry["requests_per_second"] > 0
+        assert payload["server"] is not None
+        assert payload["server"]["admission"]["admitted"] > 0
+        # Immutable run dir + trajectory line, same as `repro bench`.
+        assert run_dir is not None
+        telemetry = json.loads((run_dir / "telemetry.json").read_text())
+        assert telemetry["run_id"] == run_dir.name
+        assert telemetry["suite"]["service"] is True
+        assert (run_dir / "summary.csv").read_text().startswith("kernel,")
+        mode = (run_dir / "telemetry.json").stat().st_mode
+        assert not mode & 0o222  # write bits stripped (immutable run)
+        lines = read_trajectory(results)
+        assert len(lines) == 1
+        assert lines[0]["run_id"] == run_dir.name
+
+    def test_loadgen_cli_json_stdout(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        h = ServerHarness(max_queue=32)
+        try:
+            rc = cli_main([
+                "loadgen", "--socket", h.socket_path, "--kernel", "jacobi",
+                "--n", "33", "--procs", "2", "--concurrency", "2",
+                "--duration", "0.5", "--no-store", "--json", "-",
+            ])
+        finally:
+            h.stop()
+        assert rc == 0
+        out = capsys.readouterr()
+        payload = json.loads(out.out)
+        assert payload["entries"][0]["requests"]["ok"] > 0
+        assert "loadgen:" in out.err  # progress moved to stderr
