@@ -151,6 +151,7 @@ def cmd_exec(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         sync=args.sync,
         autotune=args.autotune,
+        retries=args.retries,
     )
     sync_note = f", sync={record['sync']}" if "sync" in record else ""
     print(f"{record['kernel']} [{record['shape']}] on backend "
@@ -192,6 +193,11 @@ def cmd_exec(args: argparse.Namespace) -> int:
         else:
             print("  worker pool: bypassed (one worker resolved; "
                   "ran the compiled module serially)")
+    if "recovery" in record:
+        recovery = record["recovery"]
+        print(f"  recovery: {recovery['retries']} retries, "
+              f"{recovery['degraded_runs']} degraded runs "
+              f"(budget {recovery['budget']})")
     print(f"  checksum {record['checksum']}")
     if json_to_stdout:
         json.dump(record, sys.stdout, indent=2, sort_keys=True)
@@ -253,10 +259,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                   f"a positive weight)", file=sys.stderr)
             return 2
         weights[name] = weight
+    if args.chaos:
+        from .runtime.faults import FaultPlan, FaultSpecError
+
+        try:
+            FaultPlan.parse(args.chaos, source="--chaos")
+        except FaultSpecError as exc:
+            print(f"bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
     config = ServerConfig(
         host=args.host, port=args.port, socket_path=args.socket,
         max_queue=args.max_queue, max_batch=args.max_batch,
-        tenant_weights=weights,
+        tenant_weights=weights, retries=args.retries, chaos=args.chaos,
     )
 
     def announce(address: str) -> None:
@@ -289,9 +303,11 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         payload, _run_dir = run_loadgen(
             kernel=args.kernel, n=args.n, procs=args.procs,
             backend=args.backend, strip=args.strip, sync=args.sync,
+            max_workers=args.max_workers,
             host=args.host, port=args.port, socket_path=args.socket,
             concurrency=args.concurrency, duration=args.duration,
             deadline_ms=args.deadline_ms, tenants=args.tenants,
+            chaos=args.chaos,
             results_root=None if args.no_store else Path(args.run_dir),
             progress=say,
         )
@@ -324,6 +340,14 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
             print("loadgen: --require-batching set but the server "
                   "coalesced nothing", file=sys.stderr)
             return 4
+    if args.min_availability is not None:
+        floor = args.min_availability / 100.0
+        availability = entry.get("availability", 0.0)
+        if availability < floor:
+            print(f"loadgen: availability {availability * 100:.2f}% is "
+                  f"below the --min-availability floor "
+                  f"{args.min_availability:.2f}%", file=sys.stderr)
+            return 5
     return 0
 
 
@@ -423,6 +447,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "runs reuse it without re-timing)")
     p.add_argument("--no-autotune", action="store_false", dest="autotune",
                    help="disable the auto-tuner (the default)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry a failed run up to this many times, "
+                        "degrading mpjit -> jit -> vector (bit-identical "
+                        "results either way); 0 fails fast")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="also write the record as JSON")
     p.set_defaults(fn=cmd_exec, autotune=False)
@@ -472,6 +500,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenant-weight", action="append", metavar="NAME=W",
                    help="weighted fair share for a tenant (repeatable; "
                         "unlisted tenants weigh 1)")
+    p.add_argument("--retries", type=int, default=2,
+                   help="server-side retry budget per exec request; "
+                        "retries degrade mpjit -> jit -> vector "
+                        "(bit-identical results)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="install a deterministic fault plan at boot "
+                        "(e.g. 'crash@run=3,9;cache_corrupt@exec=5'; "
+                        "grammar in repro.runtime.faults)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("loadgen",
@@ -489,6 +525,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=available_backends())
     p.add_argument("--strip", type=int, default=None)
     p.add_argument("--sync", default=None, choices=("p2p", "barrier"))
+    p.add_argument("--max-workers", type=int, default=None,
+                   help="worker-pool size for mp/mpjit requests (forces "
+                        "a real pool on few-core hosts so chaos worker "
+                        "faults can actually fire)")
     p.add_argument("--concurrency", type=int, default=8,
                    help="closed-loop worker connections")
     p.add_argument("--duration", type=float, default=10.0,
@@ -508,6 +548,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--require-batching", action="store_true",
                    help="exit 4 unless the server reports "
                         "batched_requests > 0 (CI asserts coalescing)")
+    p.add_argument("--chaos", default=None, metavar="SPEC",
+                   help="install this fault plan on the daemon for the "
+                        "measured window (cleared afterwards)")
+    p.add_argument("--min-availability", type=float, default=None,
+                   metavar="PCT",
+                   help="exit 5 if ok/(ok+errors) lands below this "
+                        "percentage (the chaos-soak gate)")
     p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser("experiment", help="regenerate one table/figure")

@@ -203,6 +203,94 @@ def execute_prepared(
     return seconds, totals, checksum(arrays)
 
 
+def _prep_signature(prep: PreparedKernel) -> str:
+    """Stable per-artifact key for the circuit breaker: the compiled
+    module signature when available, else the plan signature."""
+    if prep.modules:
+        return prep.modules[0].signature
+    if prep.plans:
+        return prep.plans[0].signature
+    return prep.name
+
+
+def execute_resilient(
+    prep: PreparedKernel,
+    backend: str,
+    strip: Optional[int] = None,
+    no_cache: bool = False,
+    max_workers: Optional[int] = None,
+    sync: Optional[str] = None,
+    policy=None,
+    breaker=None,
+    signature: Optional[str] = None,
+) -> tuple[float, dict[str, int], str, dict]:
+    """:func:`execute_prepared` with bounded retries and degradation.
+
+    Exec requests are idempotent (fresh arrays every attempt), so a
+    failed attempt is retried after a deterministic exponential backoff
+    (:class:`~repro.runtime.supervisor.RetryPolicy`), stepping down the
+    backend ladder ``mpjit → jit → vector`` — every rung bit-identical
+    by construction, so a degraded answer differs only in latency.  The
+    per-signature :class:`~repro.runtime.supervisor.CircuitBreaker`
+    remembers recent failures, so a poisoned artifact starts below
+    ``mpjit`` instead of rediscovering the failure on every request.
+
+    Returns ``(seconds, counters, checksum, recovery)`` where
+    ``recovery`` records ``retries``, ``backend_used``, ``degraded`` and
+    the per-attempt failure kinds.  Raises
+    :class:`~repro.runtime.supervisor.ExecError` carrying the last
+    classified failure once attempts are exhausted.
+
+    The zero-failure fast path costs one breaker dict lookup before the
+    run and one after — the retry machinery stays off the hot path.
+    """
+    from .fastexec import FastExecError
+    from .supervisor import (
+        ExecError,
+        RetryPolicy,
+        classify_failure,
+        default_breaker,
+        degrade_ladder,
+    )
+
+    policy = policy or RetryPolicy()
+    breaker = breaker or default_breaker()
+    if signature is None:
+        signature = _prep_signature(prep)
+    ladder = degrade_ladder(backend)
+    backend_now, _ = breaker.effective_backend(signature, backend)
+    attempts: list[dict] = []
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            seconds, counters, digest = execute_prepared(
+                prep, backend_now, strip=strip, no_cache=no_cache,
+                max_workers=max_workers, sync=sync,
+            )
+        except FastExecError as exc:
+            failure = classify_failure(exc)
+            breaker.record_failure(signature, backend)
+            attempts.append({"backend": backend_now, "kind": failure.kind})
+            if attempt >= policy.max_attempts or not failure.retryable:
+                if isinstance(exc, ExecError):
+                    raise
+                raise ExecError(failure) from exc
+            index = (ladder.index(backend_now)
+                     if backend_now in ladder else 0)
+            backend_now = ladder[min(index + 1, len(ladder) - 1)]
+            time.sleep(policy.delay(attempt))
+        else:
+            breaker.record_success(signature)
+            recovery = {
+                "retries": attempt - 1,
+                "requested_backend": backend,
+                "backend_used": backend_now,
+                "degraded": backend_now != backend,
+                "attempts": attempts,
+            }
+            return seconds, counters, digest, recovery
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def measure_kernel(
     kernel: str,
     backend: str,
@@ -220,6 +308,7 @@ def measure_kernel(
     label: Optional[str] = None,
     autotune: bool = False,
     tuner=None,
+    retries: int = 0,
 ) -> dict:
     """Per-repeat wall-clock record for one kernel × backend.
 
@@ -292,12 +381,24 @@ def measure_kernel(
     digest = None
     counters = None
     samples: list[dict] = []
+    recovery_totals = {"retries": 0, "degraded_runs": 0}
     for index in range(max(1, repeat)):
-        seconds, totals, run_digest = execute_prepared(
-            prep, backend, strip=strip, verify=verify,
-            no_cache=not use_cache, max_workers=max_workers,
-            sync=sync,
-        )
+        if retries > 0 and not verify:
+            from .supervisor import RetryPolicy
+
+            seconds, totals, run_digest, recovery = execute_resilient(
+                prep, backend, strip=strip, no_cache=not use_cache,
+                max_workers=max_workers, sync=sync,
+                policy=RetryPolicy(max_attempts=retries + 1),
+            )
+            recovery_totals["retries"] += recovery["retries"]
+            recovery_totals["degraded_runs"] += int(recovery["degraded"])
+        else:
+            seconds, totals, run_digest = execute_prepared(
+                prep, backend, strip=strip, verify=verify,
+                no_cache=not use_cache, max_workers=max_workers,
+                sync=sync,
+            )
         if digest is not None and run_digest != digest:
             raise RuntimeError(
                 f"{kernel}/{backend}: nondeterministic checksum "
@@ -349,6 +450,8 @@ def measure_kernel(
         record["sync"] = sync or "p2p"
     if tuner_info is not None:
         record["autotune"] = tuner_info
+    if retries > 0:
+        record["recovery"] = dict(recovery_totals, budget=retries)
     if backend in ("jit", "mpjit"):
         record["cache"] = dict(prep.cache_stats)
     if backend == "mpjit":

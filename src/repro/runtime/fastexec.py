@@ -58,6 +58,15 @@ class FastExecError(RuntimeError):
     """A plan or statement could not be executed by a fast backend."""
 
 
+class EnvConfigError(ValueError):
+    """An environment knob holds an invalid value.
+
+    Raised at parse time with a message naming the variable, so a typo'd
+    ``REPRO_SYNC_TIMEOUT=10s`` fails loudly in the parent before any
+    worker is spawned instead of silently falling back (or exploding as
+    an unhandled ``ValueError`` deep in the pool)."""
+
+
 # ---------------------------------------------------------------------------
 # Which dimensions of a nest may be vectorized?
 # ---------------------------------------------------------------------------
@@ -404,19 +413,29 @@ ENV_SYNC_TIMEOUT = "REPRO_SYNC_TIMEOUT"
 
 
 def sync_timeout() -> float:
-    """The sync backstop in seconds: ``REPRO_SYNC_TIMEOUT`` when set to a
-    positive number, else :data:`DEFAULT_SYNC_TIMEOUT`.  Read at wait
-    time so workers forked before the variable changed still honour it
-    on their next run (fork shares the parent's environ)."""
+    """The sync backstop in seconds: ``REPRO_SYNC_TIMEOUT`` when set,
+    else :data:`DEFAULT_SYNC_TIMEOUT`.  Read at wait time so workers
+    forked before the variable changed still honour it on their next run
+    (fork shares the parent's environ).
+
+    Raises :class:`EnvConfigError` naming the variable when it is set to
+    something that is not a positive number; :func:`run_mp` and the pool
+    validate eagerly so the error surfaces in the parent, not as a
+    traceback shipped back from a worker."""
     raw = os.environ.get(ENV_SYNC_TIMEOUT)
-    if raw:
-        try:
-            value = float(raw)
-        except ValueError:
-            return DEFAULT_SYNC_TIMEOUT
-        if value > 0:
-            return value
-    return DEFAULT_SYNC_TIMEOUT
+    if raw is None or not raw.strip():
+        return DEFAULT_SYNC_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        raise EnvConfigError(
+            f"{ENV_SYNC_TIMEOUT} must be a number of seconds, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise EnvConfigError(
+            f"{ENV_SYNC_TIMEOUT} must be positive, got {raw!r}"
+        )
+    return value
 
 
 #: How long the parent keeps draining the result queue after the first
@@ -457,6 +476,16 @@ class P2PSync:
 
     def abort(self) -> None:
         self.abort_event.set()
+
+    def reset(self) -> None:
+        """Clear the abort flag and every fused-done event.
+
+        Used by in-place pool recovery after a failed run: the replaced
+        workers must not observe a stale abort (or a dead peer's leftover
+        signal) on their first healthy run."""
+        self.abort_event.clear()
+        for ev in self.events:
+            ev.clear()
 
     def signal_fused_done(self, proc: int) -> None:
         self.events[proc].set()
@@ -701,6 +730,7 @@ def run_mp(
 
     if sync not in ("p2p", "barrier"):
         raise FastExecError(f"unknown sync mode {sync!r}")
+    sync_timeout()  # validate REPRO_SYNC_TIMEOUT before spawning anything
     nprocs = len(exec_plan.processors)
     nworkers = _resolve_workers(nprocs, max_workers)
     if nworkers == 1:

@@ -58,6 +58,7 @@ class CacheStats:
     evictions: int = 0
     alias_hits: int = 0
     alias_misses: int = 0
+    quarantined: int = 0
     compile_seconds: float = 0.0
 
     def as_dict(self) -> dict:
@@ -68,6 +69,7 @@ class CacheStats:
             "evictions": self.evictions,
             "alias_hits": self.alias_hits,
             "alias_misses": self.alias_misses,
+            "quarantined": self.quarantined,
             "compile_seconds": round(self.compile_seconds, 6),
         }
 
@@ -136,7 +138,14 @@ class PlanCache:
             self.stats.evictions += 1
 
     def _load_disk(self, signature: str):
-        """Load one on-disk entry; corrupt/stale files are dropped."""
+        """Load one on-disk entry; corrupt/stale files are quarantined.
+
+        A module that no longer compiles (truncated write, bit rot, a
+        chaos ``cache_corrupt`` fault) is renamed to ``<entry>.bad`` —
+        kept for post-mortem, never trusted again — and reported as a
+        miss, so the caller recompiles from the plan instead of raising
+        on a warm load.  The next :meth:`get` overwrites the ``.py``
+        entry with a fresh one."""
         from ..codegen.emitpy import JitCompileError, compile_source
 
         if not self.persist:
@@ -149,10 +158,14 @@ class PlanCache:
         try:
             return compile_source(source, expected_signature=signature)
         except JitCompileError:
-            try:  # never trust the entry again
-                path.unlink()
+            self.stats.quarantined += 1
+            try:
+                os.replace(path, path.with_suffix(".bad"))
             except OSError:
-                pass
+                try:  # quarantine failed: drop the entry outright
+                    path.unlink()
+                except OSError:
+                    pass
             return None
 
     def _store_disk(self, module) -> None:

@@ -32,15 +32,29 @@ interpreter.  This module closes the gap:
 
 Failure semantics match :func:`repro.runtime.fastexec.run_mp`: the parent
 polls the result queue with liveness checks, aborts the sync (barrier
-*and* p2p abort event) on the first casualty, and raises
-:class:`~repro.runtime.fastexec.FastExecError` carrying the worker
-traceback.  A failed run poisons the pool, so it is torn down and the
-next run transparently spawns a fresh one.
+*and* p2p abort event) on the first casualty, and raises a
+:class:`~repro.runtime.supervisor.ExecError` (a
+:class:`~repro.runtime.fastexec.FastExecError` carrying a classified
+:class:`~repro.runtime.supervisor.ExecFailure`) with the worker
+traceback.  A failed run poisons the pool; the
+:class:`~repro.runtime.supervisor.PoolSupervisor` then repairs it in the
+background — in place after a p2p failure (only the corpses are
+re-forked, warm survivors keep their compiled modules), full respawn
+after a barrier failure — so the caller's retry finds a healthy pool
+without paying the spawn cost synchronously.
+
+Deterministic fault injection (:mod:`repro.runtime.faults`) rides the
+task tuple: the parent asks the active :class:`FaultPlan` for this
+run's directives and ships them to the targeted workers, which crash /
+sleep / withhold fused-done signals on command.  Production dispatch
+with no active plan pays one ``None`` comparison.
 """
 
 from __future__ import annotations
 
 import atexit
+import os
+import threading
 import time
 from typing import Mapping, MutableMapping, Optional, Sequence
 
@@ -71,8 +85,38 @@ P2P_EVENT_SLOTS = 128
 #: Test-only failure injection: when set (before the pool is spawned, so
 #: fork inheritance carries it into the workers), every worker calls it
 #: with ``(worker_id, signature)`` ahead of the fused phase.  Production
-#: code never sets it.
+#: code never sets it; chaos plans use the task-tuple directive channel
+#: instead (no fork-inheritance requirement).
 _test_worker_hook = None
+
+#: First element of a control task (settle ack during in-place respawn);
+#: never a valid plan signature.
+_CONTROL = "__control__"
+
+
+def _drain_queue(queue, seconds: float = 0.1) -> None:
+    """Discard queued items until ``queue`` stays empty for ``seconds``
+    (an mp queue's feeder thread can surface items a beat late)."""
+    from queue import Empty
+
+    deadline = time.monotonic() + seconds
+    while True:
+        try:
+            queue.get(timeout=0.02)
+        except (Empty, OSError, ValueError):
+            if time.monotonic() >= deadline:
+                return
+
+
+def _apply_worker_fault(fault: Optional[dict]) -> None:
+    """Crash or slow a worker per its injected directive (pre-fused)."""
+    if fault is None:
+        return
+    action = fault.get("action")
+    if action == "crash":
+        os._exit(int(fault.get("exitcode", 97)))
+    elif action == "slow":
+        time.sleep(float(fault.get("seconds") or 0.05))
 
 
 def _load_module(modules: dict, signature: str, cache_root: Optional[str],
@@ -120,7 +164,13 @@ def _pool_worker(worker_id: int, task_queue, result_queue, barrier,
         task = task_queue.get()
         if task is None:
             break
-        signature, cache_root, source, specs, proc_indices, sync_mode = task
+        if task[0] == _CONTROL:
+            # settle ack: by construction the worker is idle when it
+            # answers (tasks are consumed in queue order)
+            result_queue.put((worker_id, True, (_CONTROL, task[1])))
+            continue
+        (signature, cache_root, source, specs, proc_indices, sync_mode,
+         fault) = task
         segments: list = []
         arrays: dict[str, np.ndarray] = {}
         try:
@@ -131,10 +181,21 @@ def _pool_worker(worker_id: int, task_queue, result_queue, barrier,
                 arrays = attach_arrays(specs, segments)
                 if _test_worker_hook is not None:
                     _test_worker_hook(worker_id, signature)
+                _apply_worker_fault(fault)
+                stall = (fault if fault is not None
+                         and fault.get("action") == "stall" else None)
                 fused = 0
                 if sync_mode == "p2p":
                     for proc in proc_indices:
                         fused += module.run_fused(proc, arrays)
+                        if stall is not None and (
+                            stall.get("proc") is None
+                            or stall.get("proc") == proc
+                        ):
+                            seconds = stall.get("seconds")
+                            if seconds is None:
+                                continue  # withhold the signal outright
+                            time.sleep(float(seconds))
                         p2p.signal_fused_done(proc)
                     deps = module.peel_deps
                     peeled = 0
@@ -144,6 +205,9 @@ def _pool_worker(worker_id: int, task_queue, result_queue, barrier,
                 else:
                     for proc in proc_indices:
                         fused += module.run_fused(proc, arrays)
+                    if stall is not None:
+                        time.sleep(float(stall.get("seconds")
+                                         or sync_timeout() + 1.0))
                     barrier.wait(timeout=sync_timeout())
                     peeled = 0
                     for proc in proc_indices:
@@ -213,6 +277,7 @@ class WorkerPool:
         self.last_load_modes: tuple[str, ...] = ()
         self.last_sync: Optional[str] = None
         self._dirty_events = 0
+        self._control_token = 0
 
     def healthy(self) -> bool:
         return not self.broken and all(
@@ -245,10 +310,15 @@ class WorkerPool:
             self._dirty_events = module.nprocs
         self.runs += 1
         self.last_sync = sync
+        from .faults import active_plan
+
+        plan = active_plan()
+        injected = (plan.take_worker_faults(self.nworkers)
+                    if plan is not None else {})
         for w, procs in enumerate(assignment):
             self.task_queues[w].put(
                 (module.signature, cache_root, module.source, specs,
-                 tuple(procs), sync)
+                 tuple(procs), sync, injected.get(w))
             )
         try:
             results = collect_worker_results(
@@ -263,6 +333,77 @@ class WorkerPool:
         fused = sum(r[0] for r in results.values())
         peeled = sum(r[1] for r in results.values())
         return fused, peeled
+
+    def respawn_dead(self, settle_seconds: float = 2.0) -> int:
+        """Replace dead workers in place; returns how many were re-forked.
+
+        Warm survivors keep their compiled-module caches and the
+        existing queues / barrier / event table are reused — only the
+        corpses pay a fork.  Safe only after a *p2p*-mode failure: a
+        worker killed inside ``Barrier.wait`` can leave the barrier's
+        internal lock held, so the supervisor routes barrier-mode
+        casualties to a full teardown instead.
+
+        The abort event stays set while every survivor is rendezvoused
+        through a control ack — a survivor still draining the failed
+        run's sync must observe the abort, report its stale failure and
+        return to its task queue *before* the primitives are reset
+        under it.  Raises :class:`FastExecError` when a survivor fails
+        to settle within ``settle_seconds`` (caller falls back to a
+        full respawn).
+        """
+        import multiprocessing as mp
+        from queue import Empty
+
+        if self.closed:
+            raise FastExecError("cannot respawn into a closed pool")
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        dead = [w for w, p in self.workers.items() if not p.is_alive()]
+        alive = [w for w in self.workers if w not in dead]
+        self._control_token += 1
+        token = self._control_token
+        for w in alive:
+            self.task_queues[w].put((_CONTROL, token))
+        pending = set(alive)
+        deadline = time.monotonic() + settle_seconds
+        while pending:
+            if time.monotonic() >= deadline:
+                raise FastExecError(
+                    f"workers {sorted(pending)} did not settle for "
+                    "in-place respawn"
+                )
+            try:
+                wid, ok, payload = self.result_queue.get(timeout=0.05)
+            except (Empty, OSError, ValueError):
+                continue
+            if (ok and isinstance(payload, tuple)
+                    and payload[0] == _CONTROL and payload[1] == token):
+                pending.discard(wid)
+            # anything else is stale fallout from the failed run
+        for w in dead:
+            self.workers[w].join(timeout=0.2)
+            _drain_queue(self.task_queues[w])
+        _drain_queue(self.result_queue, seconds=0.05)
+        try:
+            self.barrier.reset()
+        except Exception:  # pragma: no cover - corpse held the lock
+            raise FastExecError(
+                "barrier could not be reset for in-place respawn"
+            ) from None
+        self.p2p.reset()
+        self._dirty_events = 0
+        for w in dead:
+            proc = ctx.Process(
+                target=_pool_worker,
+                args=(w, self.task_queues[w], self.result_queue,
+                      self.barrier, self.p2p),
+                daemon=True,
+            )
+            proc.start()
+            self.workers[w] = proc
+        self.broken = False
+        return len(dead)
 
     def shutdown(self) -> None:
         """Stop every worker (sentinel, then terminate stragglers).
@@ -303,26 +444,37 @@ class WorkerPool:
 _pool: Optional[WorkerPool] = None
 _spawns = 0
 
+#: Guards ``_pool`` between the exec path and the supervisor's
+#: background recovery thread (reentrant: recovery calls get_pool /
+#: shutdown_pool while already holding it).
+_lock = threading.RLock()
+
 
 def get_pool(nworkers: int) -> WorkerPool:
-    """The process-wide pool, (re)spawned when absent, resized or broken."""
+    """The process-wide pool, (re)spawned when absent, resized or broken.
+
+    Serialized against background recovery: a caller arriving while the
+    supervisor is mid-respawn blocks briefly and then finds the healthy
+    pool instead of racing it."""
     global _pool, _spawns
-    if _pool is not None and (
-        _pool.nworkers != nworkers or not _pool.healthy()
-    ):
-        shutdown_pool()
-    if _pool is None:
-        _pool = WorkerPool(nworkers)
-        _spawns += 1
-    return _pool
+    with _lock:
+        if _pool is not None and (
+            _pool.nworkers != nworkers or not _pool.healthy()
+        ):
+            shutdown_pool()
+        if _pool is None:
+            _pool = WorkerPool(nworkers)
+            _spawns += 1
+        return _pool
 
 
 def shutdown_pool() -> None:
     """Tear down the process-wide pool (no-op when there is none)."""
     global _pool
-    if _pool is not None:
-        _pool.shutdown()
-        _pool = None
+    with _lock:
+        if _pool is not None:
+            _pool.shutdown()
+            _pool = None
 
 
 atexit.register(shutdown_pool)
@@ -330,9 +482,13 @@ atexit.register(shutdown_pool)
 
 def pool_stats() -> dict:
     """Observability for benchmarks and the CLI: spawn cost vs reuse."""
+    from .supervisor import _supervisor
+
+    respawns = _supervisor.respawns if _supervisor is not None else 0
     if _pool is None:
         return {"alive": False, "spawns": _spawns, "nworkers": 0,
-                "runs": 0, "spawn_seconds": 0.0, "last_sync": None}
+                "runs": 0, "spawn_seconds": 0.0, "last_sync": None,
+                "respawns": respawns}
     return {
         "alive": _pool.healthy(),
         "spawns": _spawns,
@@ -342,6 +498,7 @@ def pool_stats() -> dict:
         "last_load_modes": list(_pool.last_load_modes),
         "last_sync": _pool.last_sync,
         "p2p_slots": P2P_EVENT_SLOTS,
+        "respawns": respawns,
     }
 
 
@@ -362,11 +519,19 @@ def run_mpjit_module(
     runs serially in-process, which is bit-identical by construction."""
     if sync not in ("p2p", "barrier"):
         raise FastExecError(f"unknown sync mode {sync!r}")
+    # Validate the env knobs in the parent, before anything is spawned:
+    # a typo'd REPRO_SYNC_TIMEOUT / REPRO_FAULTS raises EnvConfigError
+    # naming the variable instead of a worker traceback.
+    sync_timeout()
+    from .faults import active_plan
+
+    active_plan()
     nprocs = module.nprocs
     nworkers = _resolve_workers(nprocs, max_workers)
     if nworkers == 1:
         return module.run(arrays)
     segments: dict = {}
+    pool = None
     try:
         segments, specs = export_arrays(arrays)
         assignment = [
@@ -378,11 +543,22 @@ def run_mpjit_module(
         )
         copy_back_arrays(arrays, segments)
         return {"fused_iterations": fused, "peeled_iterations": peeled}
-    except FastExecError:
-        # The shared sync primitives are aborted; drop the poisoned pool
-        # so the next run starts from a clean slate.
-        shutdown_pool()
-        raise
+    except FastExecError as exc:
+        # The shared sync primitives are aborted and the pool is marked
+        # broken.  Classify the failure, quarantine the casualties, and
+        # let the supervisor repair the pool in the background while the
+        # caller decides whether to retry (possibly degraded).
+        from .supervisor import ExecError, classify_failure, \
+            default_supervisor
+
+        failure = classify_failure(exc)
+        supervisor = default_supervisor()
+        supervisor.record_failure(failure, pool=pool)
+        if pool is not None and not pool.healthy():
+            supervisor.recover_in_background(pool, nworkers)
+        if isinstance(exc, ExecError):
+            raise
+        raise ExecError(failure) from exc
     finally:
         release_segments(segments)
 

@@ -69,6 +69,13 @@ class ServeClient:
     def drain(self, req_id: Any = "drain") -> dict:
         return self.request({"op": "drain", "id": req_id})
 
+    def health(self, req_id: Any = "health") -> dict:
+        return self.request({"op": "health", "id": req_id})
+
+    def chaos(self, spec: str, req_id: Any = "chaos") -> dict:
+        """Install a fault plan on the daemon ("" clears the active one)."""
+        return self.request({"op": "chaos", "id": req_id, "spec": spec})
+
     def exec(self, kernel: str, req_id: Any = 0, *,
              n: Optional[int] = None, procs: int = 4,
              strip: Optional[int] = None, backend: str = "jit",

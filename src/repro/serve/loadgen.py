@@ -53,6 +53,9 @@ class _WorkerLog:
         self.draining = 0
         self.errors = 0
         self.batched = 0
+        self.retried = 0
+        self.degraded = 0
+        self.failure_kinds: dict[str, int] = {}
         self.failure: Optional[str] = None
 
 
@@ -88,6 +91,10 @@ def _worker(log: _WorkerLog, stop: threading.Event, deadline: float,
                     log.shapes.add(result["shape"])
                 if result.get("batched"):
                     log.batched += 1
+                if result.get("retries"):
+                    log.retried += 1
+                if result.get("degraded"):
+                    log.degraded += 1
             elif status == STATUS_OVERLOADED:
                 log.overloaded += 1
                 time.sleep(SHED_BACKOFF_SECONDS)
@@ -96,6 +103,8 @@ def _worker(log: _WorkerLog, stop: threading.Event, deadline: float,
                 return
             else:
                 log.errors += 1
+                kind = (resp.get("failure") or {}).get("kind", "unknown")
+                log.failure_kinds[kind] = log.failure_kinds.get(kind, 0) + 1
     finally:
         client.close()
 
@@ -121,6 +130,7 @@ def run_loadgen(
     backend: str = "jit",
     strip: Optional[int] = None,
     sync: Optional[str] = None,
+    max_workers: Optional[int] = None,
     host: str = "127.0.0.1",
     port: int = 7455,
     socket_path: Optional[str] = None,
@@ -128,6 +138,7 @@ def run_loadgen(
     duration: float = 10.0,
     deadline_ms: Optional[float] = None,
     tenants: int = 1,
+    chaos: Optional[str] = None,
     results_root: Optional[Path] = None,
     progress: Optional[Callable[[str], None]] = print,
 ) -> tuple[dict, Optional[Path]]:
@@ -136,6 +147,12 @@ def run_loadgen(
     ``payload`` is a standard telemetry payload whose single entry is
     the service run (samples = per-request latencies); ``run_dir`` is
     the immutable results directory (None when ``results_root`` is).
+
+    When ``chaos`` is set, the spec is installed on the daemon via the
+    ``chaos`` op *after* the warm-up request (so the plan's run/exec
+    counters start from the measured window) and cleared again once the
+    window closes — the soak then reads ``availability`` and
+    ``checksum_mismatches`` out of the entry to gate on.
     """
 
     def connect() -> ServeClient:
@@ -148,7 +165,7 @@ def run_loadgen(
     reference = reference_checksum(kernel, n, procs)
     exec_kwargs = {"kernel": kernel, "n": n, "procs": procs,
                    "backend": backend, "strip": strip, "sync": sync,
-                   "deadline_ms": deadline_ms}
+                   "max_workers": max_workers, "deadline_ms": deadline_ms}
     # Warm the daemon (plan + compile + first pool spawn happen here,
     # outside the measured window) and fail fast on an unreachable or
     # misconfigured target.
@@ -156,6 +173,11 @@ def run_loadgen(
         resp = warm.exec(tenant="warmup", req_id="warmup", **exec_kwargs)
         if resp.get("status") not in (STATUS_OK, STATUS_OVERLOADED):
             raise RuntimeError(f"warm-up request failed: {resp}")
+        if chaos:
+            resp = warm.chaos(chaos, req_id="chaos-install")
+            if not resp.get("ok"):
+                raise RuntimeError(f"chaos install failed: {resp}")
+            say(f"loadgen: chaos plan installed: {chaos}")
     say(f"loadgen: {concurrency} workers x {duration:.0f}s against "
         f"{kernel} n={n} P={procs} backend={backend} "
         f"({tenants} tenant(s), deadline "
@@ -180,11 +202,17 @@ def run_loadgen(
     stop.set()
     elapsed = time.monotonic() - t_start
     server_stats = None
+    server_health = None
     try:
         with connect() as control:
             status = control.status()
             if status.get("ok"):
                 server_stats = status["result"]
+            health = control.health()
+            if health.get("ok"):
+                server_health = health["result"]
+            if chaos:
+                control.chaos("", req_id="chaos-clear")
     except (OSError, ServeClientError, RuntimeError):
         pass  # the daemon may already be draining; client stats stand alone
     latencies = sorted(
@@ -195,7 +223,15 @@ def run_loadgen(
         "draining": sum(log.draining for log in logs),
         "errors": sum(log.errors for log in logs),
         "batched": sum(log.batched for log in logs),
+        "retried": sum(log.retried for log in logs),
+        "degraded": sum(log.degraded for log in logs),
     }
+    failure_kinds: dict[str, int] = {}
+    for log in logs:
+        for kind, count in log.failure_kinds.items():
+            failure_kinds[kind] = failure_kinds.get(kind, 0) + count
+    answered = counts["ok"] + counts["errors"]
+    availability = counts["ok"] / answered if answered else 1.0
     failures = [log.failure for log in logs if log.failure]
     checksums: dict[str, int] = {}
     for log in logs:
@@ -221,6 +257,8 @@ def run_loadgen(
         "duration_seconds": round(elapsed, 3),
         "checksum_mismatches": mismatches,
         "client_failures": failures,
+        "availability": round(availability, 6),
+        "failure_kinds": failure_kinds,
     }
     if latencies:
         entry["seconds"] = round(min(latencies), 6)
@@ -235,8 +273,10 @@ def run_loadgen(
             "kernel": kernel, "n": n, "procs": procs, "backend": backend,
             "concurrency": concurrency, "tenants": tenants,
             "duration_seconds": duration, "deadline_ms": deadline_ms,
+            "chaos": chaos,
         },
         "server": server_stats,
+        "health": server_health,
         "entries": [entry],
     })
     run_dir = None
@@ -248,7 +288,13 @@ def run_loadgen(
     if latencies:
         say(f"  {counts['ok']} ok ({rps:.1f} req/s sustained), "
             f"{counts['overloaded']} overloaded, "
-            f"{counts['errors']} errors, {mismatches} checksum mismatches")
+            f"{counts['errors']} errors, {mismatches} checksum mismatches, "
+            f"availability {availability * 100:.2f}%")
+        if counts["retried"] or counts["degraded"] or failure_kinds:
+            kinds = ", ".join(f"{k}={v}" for k, v
+                              in sorted(failure_kinds.items())) or "-"
+            say(f"  recovery: {counts['retried']} retried, "
+                f"{counts['degraded']} degraded, failure kinds: {kinds}")
         say(f"  latency p50 {entry['p50_seconds'] * 1000:.2f} ms, "
             f"p95 {entry['p95_seconds'] * 1000:.2f} ms, "
             f"p99 {entry['p99_seconds'] * 1000:.2f} ms, "

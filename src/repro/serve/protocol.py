@@ -10,6 +10,8 @@ script) and safely framable without length prefixes.  Requests::
     {"op": "status", "id": 3}
     {"op": "drain", "id": 4}
     {"op": "ping", "id": 5}
+    {"op": "health", "id": 6}
+    {"op": "chaos", "id": 7, "spec": "crash@run=3,9;cache_corrupt@exec=5"}
 
 Responses always echo the request ``id`` and carry ``ok`` plus a
 ``status`` discriminator::
@@ -26,6 +28,20 @@ back off and retry.  ``draining`` means the daemon is shutting down
 gracefully and accepting no new work; in-flight requests still get
 their ``ok`` responses before the process exits.
 
+An exec that fails after the server's retries additionally carries a
+structured ``failure`` object (the runtime's error taxonomy —
+``worker_crash`` / ``sync_timeout`` / ``compile_error`` /
+``cache_corrupt`` / ``overload``)::
+
+    {"id": 1, "ok": false, "status": "error", "error": "...",
+     "failure": {"kind": "worker_crash", "retryable": true, ...}}
+
+``health`` reports liveness beyond ``status``: pool supervision
+(respawns, quarantined workers), circuit-breaker state, failure counts
+by kind, and the active fault plan.  ``chaos`` installs a deterministic
+fault plan at runtime (spec grammar in :mod:`repro.runtime.faults`);
+an empty ``spec`` clears it.
+
 This module is pure data — no asyncio, no kernels, no numpy — so the
 client, the tests and the server all share one source of truth for
 field names and validation.
@@ -39,7 +55,7 @@ from typing import Any, Mapping, Optional
 
 PROTOCOL = "repro-serve/1"
 
-OPS = ("compile", "exec", "status", "drain", "ping")
+OPS = ("compile", "exec", "status", "drain", "ping", "health", "chaos")
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
@@ -54,7 +70,7 @@ DEFAULT_TENANT = "default"
 #: that should have been shed).
 CONFIG_FIELDS = ("kernel", "n", "procs", "strip", "backend", "sync",
                  "max_workers")
-REQUEST_FIELDS = frozenset(("op", "id", "tenant", "deadline_ms",
+REQUEST_FIELDS = frozenset(("op", "id", "tenant", "deadline_ms", "spec",
                             *CONFIG_FIELDS))
 
 
@@ -95,6 +111,7 @@ class Request:
     tenant: str = DEFAULT_TENANT
     deadline_ms: Optional[float] = None
     key: Optional[ExecKey] = field(default=None)
+    spec: Optional[str] = None
 
     @property
     def wants_execution(self) -> bool:
@@ -151,6 +168,16 @@ def parse_request(line: bytes | str) -> Request:
                 or isinstance(deadline_ms, bool) or deadline_ms <= 0:
             raise ProtocolError("deadline_ms must be a positive number")
         deadline_ms = float(deadline_ms)
+    spec = raw.get("spec")
+    if spec is not None:
+        if op != "chaos":
+            raise ProtocolError(f"spec is meaningless for op {op!r}")
+        if not isinstance(spec, str):
+            raise ProtocolError("spec must be a string (fault-plan spec; "
+                                "empty clears the active plan)")
+    elif op == "chaos":
+        raise ProtocolError("chaos needs a spec (empty string clears "
+                            "the active plan)")
     key = None
     if op in ("exec", "compile"):
         kernel = raw.get("kernel")
@@ -176,7 +203,7 @@ def parse_request(line: bytes | str) -> Request:
             if name in raw:
                 raise ProtocolError(f"{name} is meaningless for op {op!r}")
     return Request(op=op, id=req_id, tenant=tenant,
-                   deadline_ms=deadline_ms, key=key)
+                   deadline_ms=deadline_ms, key=key, spec=spec)
 
 
 def encode_message(message: Mapping[str, Any]) -> bytes:

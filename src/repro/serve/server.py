@@ -67,6 +67,11 @@ class ServerConfig:
     tenant_weights: Mapping[str, float] = field(default_factory=dict)
     seed: int = 7
     grace_seconds: float = 0.1
+    #: retry budget per exec request (attempts = retries + 1), stepping
+    #: down the degradation ladder; 0 disables the retry machinery
+    retries: int = 2
+    #: fault-plan spec installed at boot (``repro serve --chaos``)
+    chaos: Optional[str] = None
 
 
 class FusionServer:
@@ -90,13 +95,20 @@ class FusionServer:
             weights=self.config.tenant_weights,
             cost_model=self.cost_model,
         )
+        from ..runtime.supervisor import CircuitBreaker, RetryPolicy
+
         self.on_listening = on_listening
         self.address: Optional[str] = None
         self.stats = {
             "received": 0, "completed": 0, "errors": 0,
             "rejected_draining": 0, "protocol_errors": 0,
-            "connections": 0,
+            "connections": 0, "retries": 0, "degraded": 0,
+            "exec_failures": 0,
         }
+        self.breaker = CircuitBreaker()
+        self.retry_policy = RetryPolicy(
+            max_attempts=max(1, self.config.retries + 1))
+        self._failure_counts: dict[str, int] = {}
         self.started_monotonic = time.monotonic()
         self._sig_cache: dict[ExecKey, str] = {}
         self._prepared: OrderedDict[str, object] = OrderedDict()
@@ -173,20 +185,51 @@ class FusionServer:
             self._prepared.popitem(last=False)
         return prep
 
-    def _execute_batch(self, batch: Batch) -> list[dict]:
+    def _maybe_cache_fault(self) -> None:
+        """Chaos hook: fire any due ``cache_corrupt`` fault (executor
+        thread).  Garbles one on-disk plan-cache module and drops both
+        in-memory tiers, so a later prepare must take the quarantine +
+        recompile path."""
+        from ..runtime.faults import active_plan, corrupt_cache_entry
+
+        try:
+            plan = active_plan()
+        except Exception:
+            return  # a bad env spec is reported by the exec path
+        if plan is None or not plan.take_cache_fault():
+            return
+        from ..runtime.plancache import default_cache
+
+        corrupt_cache_entry(default_cache())
+        self._prepared.clear()
+
+    def _execute_batch(self, batch: Batch) -> list[tuple]:
         """Run one batch on the executor thread: prepare once, execute
-        each member back-to-back.  Returns one result dict per member
-        (same order)."""
-        from ..runtime.benchmarking import execute_prepared
+        each member back-to-back.  Returns one ``("ok", result)`` or
+        ``("err", failure_dict, message)`` per member (same order) —
+        members are retried individually with backend degradation, so a
+        poisoned request fails alone instead of taking its riders down.
+        """
+        from ..runtime.benchmarking import execute_resilient
+        from ..runtime.fastexec import FastExecError
+        from ..runtime.supervisor import classify_failure
 
         key = batch.key
-        prep = self._prepare(batch.signature, key)
-        results = []
-        for index, _qreq in enumerate(batch.requests):
+        try:
+            prep = self._prepare(batch.signature, key)
+        except Exception as exc:  # noqa: BLE001 - reported per member
+            failure = classify_failure(exc) if isinstance(
+                exc, FastExecError) else None
+            payload = (failure.as_dict() if failure is not None
+                       else {"kind": "compile_error", "retryable": False})
+            message = f"{type(exc).__name__}: {exc}"
+            return [("err", payload, message) for _ in batch.requests]
+        results: list[tuple] = []
+        for index, qreq in enumerate(batch.requests):
             t0 = time.perf_counter()
-            if _qreq.request.op == "compile":
+            if qreq.request.op == "compile":
                 seconds = time.perf_counter() - t0
-                results.append({
+                results.append(("ok", {
                     "kernel": key.kernel, "shape": prep.shape,
                     "procs": key.procs, "backend": key.backend,
                     "plan_seconds": round(prep.plan_seconds, 6),
@@ -196,13 +239,25 @@ class FusionServer:
                                           for p in prep.plans],
                     "cache": dict(prep.cache_stats),
                     "seconds": round(seconds, 6),
-                })
+                }))
                 continue
-            seconds, counters, digest = execute_prepared(
-                prep, key.backend, strip=key.strip,
-                max_workers=key.max_workers, sync=key.sync,
-            )
-            results.append({
+            self._maybe_cache_fault()
+            try:
+                seconds, counters, digest, recovery = execute_resilient(
+                    prep, key.backend, strip=key.strip,
+                    max_workers=key.max_workers, sync=key.sync,
+                    policy=self.retry_policy, breaker=self.breaker,
+                    signature=batch.signature,
+                )
+            except FastExecError as exc:
+                failure = classify_failure(exc)
+                self.stats["exec_failures"] += 1
+                self._failure_counts[failure.kind] = (
+                    self._failure_counts.get(failure.kind, 0) + 1)
+                results.append(("err", failure.as_dict(),
+                                f"{type(exc).__name__}: {exc}"))
+                continue
+            result = {
                 "kernel": key.kernel, "shape": prep.shape,
                 "procs": key.procs, "backend": key.backend,
                 "seconds": round(seconds, 6),
@@ -211,7 +266,14 @@ class FusionServer:
                 "checksum": digest,
                 "batch_size": len(batch), "batch_index": index,
                 "batched": len(batch) > 1,
-            })
+            }
+            if recovery["retries"] or recovery["degraded"]:
+                self.stats["retries"] += recovery["retries"]
+                self.stats["degraded"] += int(recovery["degraded"])
+                result["retries"] = recovery["retries"]
+                result["backend_used"] = recovery["backend_used"]
+                result["degraded"] = recovery["degraded"]
+            results.append(("ok", result))
         return results
 
     # -- the scheduler -----------------------------------------------------
@@ -239,14 +301,22 @@ class FusionServer:
                     self._resolve(qreq, error_response(
                         qreq.request.id, STATUS_ERROR, message))
             else:
-                exec_seconds = [r["seconds"] for r in results
-                                if "checksum" in r]
+                exec_seconds = [r[1]["seconds"] for r in results
+                                if r[0] == "ok" and "checksum" in r[1]]
                 if exec_seconds:
                     self.cost_model.observe(
                         batch.signature,
                         sum(exec_seconds) / len(exec_seconds))
                 now = time.monotonic()
-                for qreq, result in zip(batch.requests, results):
+                for qreq, outcome in zip(batch.requests, results):
+                    if outcome[0] == "err":
+                        _, failure, message = outcome
+                        self.stats["errors"] += 1
+                        self._resolve(qreq, error_response(
+                            qreq.request.id, STATUS_ERROR, message,
+                            failure=failure))
+                        continue
+                    result = outcome[1]
                     result["queue_ms"] = round(
                         (now - qreq.enqueued) * 1000.0, 3)
                     self.stats["completed"] += 1
@@ -285,11 +355,56 @@ class FusionServer:
             "pool": pool_stats(),
         }
 
+    def health_snapshot(self) -> dict:
+        """The ``health`` op: recovery-focused liveness — pool
+        supervision, breaker state, failure taxonomy counts and the
+        active fault plan (``status`` stays throughput-focused)."""
+        from ..runtime.faults import active_plan
+        from ..runtime.pool import pool_stats
+        from ..runtime.supervisor import default_supervisor
+
+        try:
+            plan = active_plan()
+        except Exception:
+            plan = None
+        return {
+            "protocol": PROTOCOL,
+            "draining": self._draining,
+            "pool": pool_stats(),
+            "supervisor": default_supervisor().stats(),
+            "breaker": self.breaker.snapshot(),
+            "failures": dict(self._failure_counts),
+            "retries": self.stats["retries"],
+            "degraded": self.stats["degraded"],
+            "exec_failures": self.stats["exec_failures"],
+            "retry_budget": self.config.retries,
+            "faults": plan.describe() if plan is not None else None,
+        }
+
+    def _handle_chaos(self, req: Request) -> dict:
+        from ..runtime import faults
+
+        spec = (req.spec or "").strip()
+        if not spec:
+            faults.install_plan(None)
+            return ok_response(req.id, {"chaos": None})
+        try:
+            plan = faults.FaultPlan.parse(spec, source="chaos op")
+        except faults.FaultSpecError as exc:
+            self.stats["errors"] += 1
+            return error_response(req.id, STATUS_ERROR, str(exc))
+        faults.install_plan(plan)
+        return ok_response(req.id, {"chaos": plan.describe()})
+
     async def handle_request(self, req: Request) -> dict:
         if req.op == "ping":
             return ok_response(req.id, {"protocol": PROTOCOL})
         if req.op == "status":
             return ok_response(req.id, self.status_snapshot())
+        if req.op == "health":
+            return ok_response(req.id, self.health_snapshot())
+        if req.op == "chaos":
+            return self._handle_chaos(req)
         if req.op == "drain":
             self.begin_drain()
             await self._drained.wait()
@@ -381,6 +496,11 @@ class FusionServer:
         """Run until drained (``drain`` op or SIGTERM/SIGINT)."""
         from concurrent.futures import ThreadPoolExecutor
 
+        if self.config.chaos:
+            from ..runtime import faults
+
+            faults.install_plan(faults.FaultPlan.parse(
+                self.config.chaos, source="--chaos"))
         loop = asyncio.get_running_loop()
         self._work = asyncio.Event()
         self._drained = asyncio.Event()
@@ -414,6 +534,13 @@ class FusionServer:
             await server.wait_closed()
             await scheduler
             self._executor.shutdown(wait=True)
+            from ..runtime import faults
             from ..runtime.pool import shutdown_pool
+            from ..runtime.supervisor import default_supervisor
 
+            # Clear any runtime-installed fault plan (env-based plans
+            # are unaffected) and let an in-flight background respawn
+            # settle before the pool is retired for good.
+            faults.install_plan(None)
+            default_supervisor().wait(timeout=5.0)
             shutdown_pool()

@@ -29,6 +29,24 @@ def _isolated_jit_cache(tmp_path, monkeypatch):
 
 
 @pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """No fault plan or supervisor/breaker state leaks between tests.
+
+    A stray ``REPRO_FAULTS`` in the developer's environment must not
+    crash unrelated tests, and a chaos test's installed plan, breaker
+    trips or quarantine records must not outlive it.
+    """
+    from repro.runtime import faults, supervisor
+
+    monkeypatch.delenv(faults.ENV_FAULTS, raising=False)
+    faults.reset()
+    supervisor.reset_defaults()
+    yield
+    faults.reset()
+    supervisor.reset_defaults()
+
+
+@pytest.fixture(autouse=True)
 def _bounded_sync_timeout(monkeypatch):
     """Drop the 600 s sync backstop sharply under pytest.
 

@@ -1,0 +1,320 @@
+"""The self-healing subsystem: fault specs, taxonomy, breaker, retry.
+
+Chaos engineering is only trustworthy when the chaos itself is
+deterministic: the same spec against the same request sequence must
+fire the same faults.  These tests pin the spec grammar (good and bad,
+with errors naming their source), the plan's run/exec counters, the
+failure taxonomy of :func:`classify_failure`, the circuit breaker's
+step-down/probe-up state machine, the retry policy's deterministic
+backoff, and — end to end — :func:`execute_resilient` recovering from
+an injected worker crash by degrading one rung down the ladder while
+still producing the reference bits.
+"""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.runtime import faults
+from repro.runtime.faults import FaultPlan, FaultSpecError, _parse_indices
+from repro.runtime.supervisor import (
+    CircuitBreaker,
+    ExecError,
+    ExecFailure,
+    RetryPolicy,
+    classify_failure,
+    degrade_ladder,
+)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in mp.get_all_start_methods(),
+    reason="crash injection relies on fork inheritance",
+)
+
+
+class TestIndexParsing:
+    def test_forms(self):
+        assert _parse_indices("3", "t", "c") == frozenset({3})
+        assert _parse_indices("3,7,11", "t", "c") == frozenset({3, 7, 11})
+        assert _parse_indices("2..5", "t", "c") == frozenset({2, 3, 4, 5})
+        assert _parse_indices("2..20/6", "t", "c") == frozenset({2, 8, 14, 20})
+
+    def test_bad_forms_raise(self):
+        for bad in ("x", "0", "-1", "5..2", "0..3", "2..8/0", "2..8/x"):
+            with pytest.raises(FaultSpecError):
+                _parse_indices(bad, "t", "c")
+
+
+class TestSpecParsing:
+    def test_multi_clause_spec(self):
+        plan = FaultPlan.parse(
+            "crash@run=3,7;slow@run=4:seconds=0.2:worker=1;"
+            "stall@run=5:proc=1;cache_corrupt@exec=10")
+        kinds = [c.kind for c in plan.clauses]
+        assert kinds == ["crash", "slow", "stall", "cache_corrupt"]
+        assert plan.clauses[0].runs == frozenset({3, 7})
+        assert plan.clauses[1].seconds == 0.2
+        assert plan.clauses[1].worker == 1
+        assert plan.clauses[2].proc == 1
+        assert plan.clauses[3].execs == frozenset({10})
+
+    def test_crash_directive_carries_exitcode(self):
+        plan = FaultPlan.parse("crash@run=1:exitcode=41")
+        assert plan.clauses[0].directive() == {"action": "crash",
+                                               "exitcode": 41}
+
+    @pytest.mark.parametrize("spec, fragment", [
+        ("explode@run=1", "unknown fault kind"),
+        ("crash", "needs run="),
+        ("crash@worker=1", "needs run="),
+        ("cache_corrupt@run=1", "needs exec="),
+        ("crash@run=", "expected key=value"),
+        ("crash@run=1:color=red", "unknown key"),
+        ("crash@run=1:seconds=fast", "bad seconds"),
+        ("crash@run=1:worker=two", "bad worker"),
+        ("", "empty fault spec"),
+        (";;", "empty fault spec"),
+    ])
+    def test_bad_specs_raise_with_source(self, spec, fragment):
+        with pytest.raises(FaultSpecError) as excinfo:
+            FaultPlan.parse(spec, source="--chaos")
+        message = str(excinfo.value)
+        assert fragment in message
+        assert "--chaos" in message
+
+
+class TestEnvActivation:
+    def test_no_plan_by_default(self):
+        assert faults.active_plan() is None
+
+    def test_env_variable_activates(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULTS, "crash@run=2")
+        plan = faults.active_plan()
+        assert plan is not None and plan.clauses[0].kind == "crash"
+        # parse once, then cached by raw string
+        assert faults.active_plan() is plan
+
+    def test_bad_env_raises_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULTS, "kaboom@run=1")
+        with pytest.raises(FaultSpecError, match=faults.ENV_FAULTS):
+            faults.active_plan()
+
+    def test_installed_plan_wins_and_reset_clears(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_FAULTS, "crash@run=2")
+        installed = FaultPlan.parse("slow@run=1:seconds=0.01")
+        faults.install_plan(installed)
+        assert faults.active_plan() is installed
+        faults.install_plan(None)
+        assert faults.active_plan().spec == "crash@run=2"
+        monkeypatch.delenv(faults.ENV_FAULTS)
+        faults.reset()
+        assert faults.active_plan() is None
+
+
+class TestDeterministicFiring:
+    def test_run_counter_is_plan_local(self):
+        plan = FaultPlan.parse("crash@run=2")
+        assert plan.take_worker_faults(2) == {}
+        fired = plan.take_worker_faults(2)
+        assert fired == {0: {"action": "crash",
+                             "exitcode": faults.CHAOS_EXITCODE}}
+        assert plan.take_worker_faults(2) == {}
+        assert plan.clauses[0].fired == 1
+        assert plan.describe()["runs_seen"] == 3
+
+    def test_worker_selector_clamped_to_pool_size(self):
+        plan = FaultPlan.parse("crash@run=1:worker=5")
+        fired = plan.take_worker_faults(2)
+        assert list(fired) == [5 % 2]
+
+    def test_first_clause_per_worker_wins(self):
+        plan = FaultPlan.parse(
+            "slow@run=1:seconds=0.01;crash@run=1")
+        fired = plan.take_worker_faults(2)
+        assert fired[0]["action"] == "slow"
+
+    def test_range_step_fires_each_match(self):
+        plan = FaultPlan.parse("crash@run=1..5/2")
+        hits = [bool(plan.take_worker_faults(2)) for _ in range(6)]
+        assert hits == [True, False, True, False, True, False]
+
+    def test_cache_fault_counter(self):
+        plan = FaultPlan.parse("cache_corrupt@exec=2")
+        assert plan.take_cache_fault() is False
+        assert plan.take_cache_fault() is True
+        assert plan.take_cache_fault() is False
+
+
+class TestClassifyFailure:
+    def test_jit_compile_error_kinds(self):
+        from repro.codegen.emitpy import JitCompileError
+
+        assert (classify_failure(JitCompileError("syntax error")).kind
+                == "compile_error")
+        assert (classify_failure(
+            JitCompileError("signature mismatch: stale entry")).kind
+            == "cache_corrupt")
+
+    def test_worker_death_extracts_casualties(self):
+        from repro.runtime.fastexec import FastExecError
+
+        failure = classify_failure(FastExecError(
+            "mpjit worker 1 died without reporting a result (exitcode 97)"))
+        assert failure.kind == "worker_crash"
+        assert failure.workers == (1,)
+        assert failure.exitcodes == (97,)
+        assert failure.retryable is True
+
+    def test_sync_messages_map_to_sync_timeout(self):
+        from repro.runtime.fastexec import FastExecError, SyncAborted
+
+        assert classify_failure(SyncAborted("x")).kind == "sync_timeout"
+        for msg in ("no fused-done signal from processor 2",
+                    "p2p sync aborted (a peer failed first)",
+                    "barrier broken or aborted"):
+            assert classify_failure(FastExecError(msg)).kind == "sync_timeout"
+
+    def test_exec_error_passthrough_and_fallbacks(self):
+        from repro.runtime.fastexec import FastExecError
+
+        original = ExecFailure(kind="overload", message="shed")
+        assert classify_failure(ExecError(original)) is original
+        assert classify_failure(FastExecError("weird")).kind == "internal"
+        unknown = classify_failure(ValueError("app bug"))
+        assert unknown.kind == "internal"
+        assert unknown.retryable is False
+
+    def test_as_dict_truncates_message(self):
+        failure = ExecFailure(kind="internal", message="x" * 5000)
+        assert len(failure.as_dict()["message"]) == 2000
+
+
+class TestCircuitBreaker:
+    def test_steps_down_after_threshold(self):
+        breaker = CircuitBreaker(threshold=2, cooldown_seconds=3600)
+        assert breaker.effective_backend("sig", "mpjit") == ("mpjit", False)
+        breaker.record_failure("sig", "mpjit")
+        assert breaker.effective_backend("sig", "mpjit") == ("mpjit", False)
+        breaker.record_failure("sig", "mpjit")
+        assert breaker.effective_backend("sig", "mpjit") == ("jit", True)
+        assert breaker.trips == 1
+        # a different signature is unaffected
+        assert breaker.effective_backend("other", "mpjit") == ("mpjit", False)
+
+    def test_success_clears_and_cooldown_probes_up(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=0.0)
+        breaker.record_failure("sig", "mpjit")
+        # cooldown 0: the very next request probes one rung back up
+        assert breaker.effective_backend("sig", "mpjit") == ("mpjit", False)
+        breaker.record_success("sig")
+        assert "sig" not in breaker._state
+
+    def test_bottom_rung_is_sticky(self):
+        breaker = CircuitBreaker(threshold=1, cooldown_seconds=3600)
+        for _ in range(5):
+            breaker.record_failure("sig", "mpjit")
+        assert breaker.effective_backend("sig", "mpjit") == ("vector", True)
+
+    def test_signature_cap_evicts_oldest(self):
+        breaker = CircuitBreaker(threshold=1, max_signatures=2)
+        for sig in ("a", "b", "c"):
+            breaker.record_failure(sig, "mpjit")
+        assert len(breaker._state) == 2 and "a" not in breaker._state
+
+    def test_snapshot_shape(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("s" * 40, "mpjit")
+        snap = breaker.snapshot()
+        assert snap["trips"] == 1
+        assert list(snap["open"]) == ["s" * 16]
+
+
+class TestRetryPolicy:
+    def test_deterministic_backoff(self):
+        policy = RetryPolicy()
+        assert [policy.delay(a) for a in (1, 2, 3, 4)] == \
+            [0.02, 0.08, 0.32, 0.5]
+
+    def test_ladders(self):
+        assert degrade_ladder("mpjit") == ("mpjit", "jit", "vector")
+        assert degrade_ladder("jit") == ("jit", "vector")
+        assert degrade_ladder("interp") == ("interp",)
+
+
+class TestExecuteResilient:
+    @needs_fork
+    def test_crash_degrades_one_rung_and_matches_reference(self):
+        """An injected worker crash on the first attempt: the retry runs
+        ``jit`` and must produce the vector reference checksum."""
+        from repro.runtime.benchmarking import (
+            execute_prepared,
+            execute_resilient,
+            prepare_kernel,
+        )
+        from repro.runtime.pool import shutdown_pool
+
+        try:
+            prep = prepare_kernel("jacobi", n=25, procs=2, backend="mpjit")
+            _s, _c, reference = execute_prepared(
+                prepare_kernel("jacobi", n=25, procs=2, backend="vector"),
+                "vector")
+            faults.install_plan(FaultPlan.parse("crash@run=1", source="test"))
+            breaker = CircuitBreaker()
+            _s, _c, digest, recovery = execute_resilient(
+                prep, "mpjit", max_workers=2,
+                policy=RetryPolicy(max_attempts=3), breaker=breaker)
+            assert digest == reference
+            assert recovery["retries"] == 1
+            assert recovery["degraded"] is True
+            assert recovery["backend_used"] == "jit"
+            assert recovery["attempts"] == [
+                {"backend": "mpjit", "kind": "worker_crash"}]
+        finally:
+            faults.install_plan(None)
+            shutdown_pool()
+
+    @needs_fork
+    def test_exhausted_attempts_raise_structured_error(self):
+        from repro.runtime.benchmarking import (
+            execute_resilient,
+            prepare_kernel,
+        )
+        from repro.runtime.pool import shutdown_pool
+
+        try:
+            prep = prepare_kernel("jacobi", n=25, procs=2, backend="mpjit")
+            faults.install_plan(FaultPlan.parse("crash@run=1", source="test"))
+            with pytest.raises(ExecError) as excinfo:
+                execute_resilient(prep, "mpjit", max_workers=2,
+                                  policy=RetryPolicy(max_attempts=1),
+                                  breaker=CircuitBreaker())
+            assert excinfo.value.failure.kind == "worker_crash"
+        finally:
+            faults.install_plan(None)
+            shutdown_pool()
+
+
+class TestCacheCorruption:
+    def test_corrupt_cache_entry_quarantined_on_next_load(self, tmp_path):
+        """The chaos corruption primitive garbles a real entry; the next
+        load must quarantine it to ``<entry>.bad`` and recompile."""
+        from repro.runtime.plancache import PlanCache
+        from test_plancache import _chain_plan
+
+        cache = PlanCache(root=tmp_path / "c")
+        ep = _chain_plan()
+        module = cache.get(ep)
+        name = faults.corrupt_cache_entry(cache)
+        assert name == cache.source_path(module.signature).name
+        assert cache.peek(module.signature) is None  # corrupt: dropped
+        assert cache.stats.quarantined == 1
+        bad = cache.source_path(module.signature).with_suffix(".bad")
+        assert bad.exists() and "chaos" in bad.read_text()
+        fresh = cache.get(ep)  # recompiled from the plan
+        assert fresh.source == module.source
+
+    def test_corrupt_cache_entry_empty_cache(self, tmp_path):
+        from repro.runtime.plancache import PlanCache
+
+        cache = PlanCache(root=tmp_path / "c")
+        assert faults.corrupt_cache_entry(cache) is None

@@ -104,12 +104,36 @@ class TestSyncTimeoutEnv:
         monkeypatch.setenv(fastexec.ENV_SYNC_TIMEOUT, "42.5")
         assert sync_timeout() == 42.5
 
-    def test_garbage_and_nonpositive_fall_back(self, monkeypatch):
-        for bad in ("abc", "-3", "0", ""):
+    def test_garbage_and_nonpositive_raise_naming_the_variable(
+        self, monkeypatch
+    ):
+        """A typo'd knob must fail loudly at parse time — a silent
+        fall-back to 600 s turns a config error into a mystery hang."""
+        from repro.runtime.fastexec import EnvConfigError
+
+        for bad in ("abc", "1h", "-3", "0"):
             monkeypatch.setenv(fastexec.ENV_SYNC_TIMEOUT, bad)
-            assert sync_timeout() == fastexec.DEFAULT_SYNC_TIMEOUT
+            with pytest.raises(EnvConfigError,
+                               match=fastexec.ENV_SYNC_TIMEOUT):
+                sync_timeout()
+
+    def test_unset_and_blank_fall_back(self, monkeypatch):
+        monkeypatch.setenv(fastexec.ENV_SYNC_TIMEOUT, "")
+        assert sync_timeout() == fastexec.DEFAULT_SYNC_TIMEOUT
         monkeypatch.delenv(fastexec.ENV_SYNC_TIMEOUT)
         assert sync_timeout() == fastexec.DEFAULT_SYNC_TIMEOUT
+
+    @needs_fork
+    def test_bad_env_rejected_before_any_fork(self, monkeypatch):
+        """mpjit validates the knob in the parent — the error names the
+        variable instead of surfacing as a worker traceback."""
+        from repro.runtime.fastexec import EnvConfigError
+
+        monkeypatch.setenv(fastexec.ENV_SYNC_TIMEOUT, "soon")
+        with pytest.raises(EnvConfigError,
+                           match=fastexec.ENV_SYNC_TIMEOUT):
+            run_mpjit(_plan(), _arrays(), max_workers=2)
+        assert pool_stats()["alive"] is False  # nothing was spawned
 
     def test_pytest_suite_runs_bounded(self):
         """The conftest fixture must keep the backstop in seconds, not
@@ -213,6 +237,8 @@ class TestRunMpCrashSafety:
 class TestMpjitCrashSafety:
     @needs_fork
     def test_worker_exception_ships_traceback(self, leak_check):
+        from repro.runtime.supervisor import default_supervisor
+
         def boom(worker_id, signature):
             raise ValueError("injected-mpjit-boom")
 
@@ -224,25 +250,42 @@ class TestMpjitCrashSafety:
         message = str(excinfo.value)
         assert "injected-mpjit-boom" in message
         assert "Traceback" in message
-        # The poisoned pool (aborted barrier) must be gone.
-        assert pool_stats()["alive"] is False
+        # The poisoned pool is repaired off the hot path, not abandoned.
+        default_supervisor().wait(timeout=10.0)
+        assert pool_stats()["alive"] is True
 
     @needs_fork
-    def test_worker_hard_crash_detected(self, leak_check):
+    def test_worker_hard_crash_detected_and_classified(self, leak_check):
+        from repro.runtime.supervisor import ExecError, default_supervisor
+
         pool_mod._test_worker_hook = (
             lambda worker_id, signature: os._exit(23)
         )
         t0 = time.monotonic()
-        with pytest.raises(FastExecError) as excinfo:
+        with pytest.raises(ExecError) as excinfo:
             run_mpjit(_plan(), _arrays(), max_workers=2)
         assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
         assert "died without reporting" in str(excinfo.value)
-        assert pool_stats()["alive"] is False
+        failure = excinfo.value.failure
+        assert failure.kind == "worker_crash"
+        assert failure.retryable is True
+        assert 23 in failure.exitcodes
+        supervisor = default_supervisor()
+        supervisor.wait(timeout=10.0)
+        assert pool_stats()["alive"] is True
+        stats = supervisor.stats()
+        assert stats["recoveries"] >= 1
+        assert stats["failures"].get("worker_crash", 0) >= 1
+        assert any(q["exitcode"] == 23 for q in stats["quarantined"])
 
     @needs_fork
     def test_pool_recovers_after_crash(self, leak_check):
-        """A failed run tears the pool down; the next run must spawn a
-        fresh pool and produce correct results."""
+        """A failed run poisons the pool; after the supervisor's repair
+        (or an explicit teardown) the next run must produce correct
+        results.  The explicit shutdown here also discards the repaired
+        workers, which inherited the injection hook at fork time."""
+        from repro.runtime.supervisor import default_supervisor
+
         def boom(worker_id, signature):
             raise ValueError("poison")
 
@@ -250,6 +293,8 @@ class TestMpjitCrashSafety:
         with pytest.raises(FastExecError):
             run_mpjit(_plan(), _arrays(), max_workers=2)
         pool_mod._test_worker_hook = None
+        default_supervisor().wait(timeout=10.0)
+        shutdown_pool()
 
         ep = _plan()
         base = _arrays()
@@ -308,28 +353,50 @@ class TestP2PCrashPropagation:
         assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
 
     @needs_fork
-    def test_mpjit_crash_before_fused_done_poisons_pool(self, leak_check):
+    def test_mpjit_crash_before_fused_done_repaired_in_place(
+        self, leak_check
+    ):
         """A pool worker dying before any fused-done signal: dependents
-        fail fast, the pool is poisoned, and the next p2p run recovers
-        on a fresh pool."""
-        pool_mod._test_worker_hook = (
-            lambda worker_id, signature: os._exit(37)
-            if worker_id == 0 else None
-        )
+        fail fast, the supervisor re-forks only the corpse (warm
+        survivors keep their modules — ``spawns`` does not move), and
+        the next p2p run produces the reference bits."""
+        from repro.runtime import faults
+        from repro.runtime.supervisor import ExecError, default_supervisor
+
+        run_mpjit(_plan(), _arrays(), max_workers=2, sync="p2p")  # warm
+        spawns_before = pool_stats()["spawns"]
+        faults.install_plan(faults.FaultPlan.parse(
+            "crash@run=1:worker=0:exitcode=37", source="test"))
         t0 = time.monotonic()
-        with pytest.raises(FastExecError) as excinfo:
+        with pytest.raises(ExecError) as excinfo:
             run_mpjit(_plan(), _arrays(), max_workers=2, sync="p2p")
         assert time.monotonic() - t0 < CRASH_BUDGET_SECONDS
         assert "died without reporting" in str(excinfo.value)
-        assert pool_stats()["alive"] is False
-        pool_mod._test_worker_hook = None
-        run_mpjit(_plan(), _arrays(), max_workers=2, sync="p2p")
+        assert excinfo.value.failure.kind == "worker_crash"
+        faults.install_plan(None)
+        supervisor = default_supervisor()
+        supervisor.wait(timeout=10.0)
         stats = pool_stats()
         assert stats["alive"] is True
-        assert stats["last_sync"] == "p2p"
+        assert stats["spawns"] == spawns_before  # in-place, not teardown
+        assert supervisor.stats()["respawns"] >= 1
+
+        ep = _plan()
+        base = _arrays()
+        from repro.runtime import run_parallel
+
+        ref = {k: v.copy() for k, v in base.items()}
+        run_parallel(ep, ref)
+        got = {k: v.copy() for k, v in base.items()}
+        run_mpjit(ep, got, max_workers=2, sync="p2p")
+        assert pool_stats()["last_sync"] == "p2p"
+        for name in ref:
+            assert np.array_equal(ref[name], got[name]), name
 
     @needs_fork
     def test_mpjit_exception_during_p2p_ships_traceback(self, leak_check):
+        from repro.runtime.supervisor import default_supervisor
+
         def boom(worker_id, signature):
             if worker_id == 1:
                 raise ValueError("injected-p2p-boom")
@@ -342,7 +409,8 @@ class TestP2PCrashPropagation:
         message = str(excinfo.value)
         assert "injected-p2p-boom" in message
         assert "Traceback" in message
-        assert pool_stats()["alive"] is False
+        default_supervisor().wait(timeout=10.0)
+        assert pool_stats()["alive"] is True
 
 
 class TestP2PSlotFallback:

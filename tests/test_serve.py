@@ -60,6 +60,15 @@ class TestProtocol:
         assert req.key is None
         assert not req.wants_execution
 
+    def test_health_and_chaos_round_trip(self):
+        health = parse_request('{"op": "health", "id": 1}')
+        assert health.key is None and not health.wants_execution
+        chaos = parse_request(
+            '{"op": "chaos", "id": 2, "spec": "crash@run=3"}')
+        assert chaos.spec == "crash@run=3"
+        clear = parse_request('{"op": "chaos", "id": 3, "spec": ""}')
+        assert clear.spec == ""
+
     @pytest.mark.parametrize("line, fragment", [
         (b"not json", "not valid JSON"),
         (b"[1, 2]", "JSON object"),
@@ -76,6 +85,10 @@ class TestProtocol:
          "sync"),
         (b'{"op": "status", "id": 1, "kernel": "jacobi"}', "meaningless"),
         (b'{"op": "exec", "id": true, "kernel": "jacobi"}', "id must be"),
+        (b'{"op": "chaos", "id": 1}', "chaos needs a spec"),
+        (b'{"op": "chaos", "id": 1, "spec": 7}', "spec must be a string"),
+        (b'{"op": "exec", "id": 1, "kernel": "jacobi", "spec": "x"}',
+         "spec is meaningless"),
     ])
     def test_rejects_malformed(self, line, fragment):
         with pytest.raises(ProtocolError, match=fragment):
@@ -394,6 +407,145 @@ class TestServerEndToEnd:
 
 
 # ---------------------------------------------------------------------------
+# self-healing: health op, chaos op, retry with degradation
+
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="worker pools rely on fork",
+)
+
+
+class TestSelfHealing:
+    def test_health_op_reports_recovery_state(self, harness):
+        with harness.client() as c:
+            c.exec("jacobi", req_id=1, n=33, procs=2)
+            health = c.health()
+        assert health["ok"], health
+        result = health["result"]
+        assert result["draining"] is False
+        assert result["faults"] is None
+        assert result["failures"] == {}
+        assert result["retry_budget"] == 2  # ServerConfig default
+        assert "pool" in result and "supervisor" in result
+        assert result["breaker"]["open"] == {}
+
+    def test_chaos_op_installs_and_clears(self, harness):
+        with harness.client() as c:
+            installed = c.chaos("crash@run=3;cache_corrupt@exec=5")
+            assert installed["ok"], installed
+            desc = installed["result"]["chaos"]
+            assert desc["source"] == "chaos op"
+            assert [cl["kind"] for cl in desc["clauses"]] == \
+                ["crash", "cache_corrupt"]
+            health = c.health()
+            assert health["result"]["faults"]["spec"] == \
+                "crash@run=3;cache_corrupt@exec=5"
+            bad = c.chaos("kaboom@run=1")
+            assert not bad["ok"]
+            assert "unknown fault kind" in bad["error"]
+            cleared = c.chaos("")
+            assert cleared["ok"] and cleared["result"]["chaos"] is None
+            assert c.health()["result"]["faults"] is None
+
+    @needs_fork
+    def test_injected_crash_is_retried_with_degradation(self, harness):
+        """A worker crash mid-request: the daemon answers ``ok`` anyway
+        (one retry, one rung down, bit-identical checksum) and the
+        failure shows up in ``health`` — not in the client's lap."""
+        prep = prepare_kernel("jacobi", n=25, procs=2, backend="vector")
+        _s, _c, reference = execute_prepared(prep, "vector")
+        with harness.client() as c:
+            warm = c.exec("jacobi", req_id="w", n=25, procs=2,
+                          backend="mpjit", max_workers=2)
+            assert warm["ok"], warm
+            assert "retries" not in warm["result"]
+            c.chaos("crash@run=1")
+            hit = c.exec("jacobi", req_id="h", n=25, procs=2,
+                         backend="mpjit", max_workers=2)
+            assert hit["ok"], hit
+            result = hit["result"]
+            assert result["checksum"] == reference
+            assert result["retries"] >= 1
+            assert result["degraded"] is True
+            assert result["backend_used"] in ("jit", "vector")
+            c.chaos("")
+            health = c.health()["result"]
+        assert health["retries"] >= 1
+        assert health["degraded"] >= 1
+        # terminal failures stay zero — the client never saw the crash;
+        # the supervisor's taxonomy counts record it
+        assert health["failures"] == {}
+        assert health["supervisor"]["failures"].get("worker_crash", 0) >= 1
+
+    @needs_fork
+    def test_poisoned_member_does_not_fail_riders(self, harness):
+        """Batched members are executed (and retried) individually: the
+        member that catches the injected crash degrades alone; its
+        riders' responses are clean and every checksum agrees."""
+        with harness.client() as c:
+            warm = c.exec("jacobi", req_id="w", n=25, procs=2,
+                          backend="mpjit", max_workers=2)
+            assert warm["ok"], warm
+            c.chaos("crash@run=1")
+            # Slow distinct head holds the executor so the riders queue
+            # up behind it and coalesce into one batch.
+            messages = [{"op": "exec", "id": "head", "kernel": "jacobi",
+                         "n": 255, "procs": 2, "backend": "vector"}]
+            messages += [
+                {"op": "exec", "id": f"r{i}", "kernel": "jacobi",
+                 "n": 25, "procs": 2, "backend": "mpjit",
+                 "max_workers": 2}
+                for i in range(4)
+            ]
+            for message in messages:
+                c._file.write(encode_message(message))
+            c._file.flush()
+            responses = [decode_line(c._file.readline())
+                         for _ in messages]
+            c.chaos("")
+        by_id = {r["id"]: r for r in responses}
+        riders = [by_id[f"r{i}"] for i in range(4)]
+        assert all(r["ok"] for r in riders), riders
+        checksums = {r["result"]["checksum"] for r in riders}
+        assert len(checksums) == 1
+        retried = [r for r in riders if r["result"].get("retries")]
+        clean = [r for r in riders if "retries" not in r["result"]]
+        assert retried, "the injected crash must have hit one member"
+        assert clean, "riders behind the poisoned member must run clean"
+
+    def test_cache_corruption_heals_transparently(self, harness):
+        """A chaos-corrupted plan-cache entry: the fault drops the
+        daemon's prepared tier, so the next exec re-prepares, finds the
+        garbled disk entry, quarantines it to ``<entry>.bad`` and
+        recompiles — same checksum, no error reaches any client."""
+        with harness.client() as c:
+            first = c.exec("jacobi", req_id=1, n=33, procs=2, backend="jit")
+            assert first["ok"], first
+            c.chaos("cache_corrupt@exec=1")
+            # exec 1 of the plan fires the corruption (its own run still
+            # uses the in-memory module; the *next* prepare pays).
+            trigger = c.exec("jacobi", req_id=2, n=33, procs=2,
+                             backend="jit")
+            assert trigger["ok"], trigger
+            healed = c.exec("jacobi", req_id=3, n=33, procs=2,
+                            backend="jit")
+            c.chaos("")
+            status = c.status()["result"]
+        assert healed["ok"], healed
+        assert healed["result"]["checksum"] == first["result"]["checksum"]
+        assert status["plancache"]["quarantined"] >= 1
+
+    def test_serve_cli_rejects_bad_chaos_spec(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["serve", "--chaos", "kaboom@run=1",
+                       "--socket", "/tmp/unused.sock"])
+        assert rc == 2
+        assert "bad --chaos spec" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
 # SIGTERM drain (real process)
 
 
@@ -436,6 +588,63 @@ class TestSigtermDrain:
             if proc.poll() is None:
                 proc.kill()
                 proc.wait(timeout=10)
+
+    def test_sigterm_while_chaos_crashed_worker_mid_batch(self, tmp_path):
+        """Drain-while-crashed: SIGTERM lands while an injected fault
+        has just killed a pool worker with requests still queued.  Every
+        in-flight request must complete (degraded is fine) or get a
+        structured failure — never hang, never drop the connection — and
+        the daemon must exit 0 leaving no children or shm segments."""
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("worker pools rely on fork")
+        shm = Path("/dev/shm")
+        shm_before = ({p.name for p in shm.iterdir()}
+                      if shm.is_dir() else None)
+        short_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+        sock = os.path.join(short_dir, "d.sock")
+        env = dict(os.environ,
+                   PYTHONPATH=SRC,
+                   REPRO_SYNC_TIMEOUT="15",
+                   REPRO_JIT_CACHE_DIR=str(tmp_path / "daemon-cache"))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--chaos", "crash@run=2", "--retries", "2"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env)
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner
+            with ServeClient(socket_path=sock, timeout=120.0) as c:
+                # Pipeline mpjit requests: run 1 warms the pool, run 2
+                # is the injected crash — SIGTERM arrives right after
+                # the first response, while the remaining requests are
+                # in flight behind the dead worker.
+                for i in range(5):
+                    c._file.write(encode_message(
+                        {"op": "exec", "id": i, "kernel": "jacobi",
+                         "n": 25, "procs": 2, "backend": "mpjit",
+                         "max_workers": 2}))
+                c._file.flush()
+                first = decode_line(c._file.readline())
+                assert first["ok"], first
+                proc.send_signal(signal.SIGTERM)
+                responses = [decode_line(c._file.readline())
+                             for _ in range(4)]
+            # Zero hangs is the gate: every line came back, each either
+            # ok (possibly degraded), refused by the drain, or a
+            # structured failure — never opaque, never dropped.
+            for r in responses:
+                if not r["ok"]:
+                    assert (r["status"] == STATUS_DRAINING
+                            or "failure" in r), r
+            assert proc.wait(timeout=40) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+        if shm_before is not None:
+            leaked = {p.name for p in shm.iterdir()} - shm_before
+            assert not leaked, f"shm segments leaked: {leaked}"
 
 
 # ---------------------------------------------------------------------------
@@ -481,6 +690,32 @@ class TestLoadgen:
         lines = read_trajectory(results)
         assert len(lines) == 1
         assert lines[0]["run_id"] == run_dir.name
+
+    def test_loadgen_chaos_window_records_recovery(self, tmp_path):
+        """``--chaos``: the plan is installed for the measured window,
+        cleared afterwards, and the entry carries the availability and
+        failure-kind telemetry the soak gates on."""
+        from repro.serve.loadgen import run_loadgen
+
+        h = ServerHarness(max_queue=32)
+        try:
+            payload, _run_dir = run_loadgen(
+                kernel="jacobi", n=33, procs=2, backend="jit",
+                socket_path=h.socket_path, concurrency=2, duration=1.0,
+                chaos="cache_corrupt@exec=2..50/4", results_root=None,
+                progress=None,
+            )
+            with h.client() as c:
+                faults_after = c.health()["result"]["faults"]
+        finally:
+            h.stop()
+        entry = payload["entries"][0]
+        assert entry["checksum_mismatches"] == 0
+        assert 0.0 <= entry["availability"] <= 1.0
+        assert "failure_kinds" in entry
+        assert payload["suite"]["chaos"] == "cache_corrupt@exec=2..50/4"
+        assert payload["health"] is not None
+        assert faults_after is None  # cleared after the window
 
     def test_loadgen_cli_json_stdout(self, tmp_path, capsys):
         from repro.cli import main as cli_main
