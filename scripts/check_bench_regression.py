@@ -17,7 +17,10 @@ when:
   name a ``metric`` other than ``seconds`` (e.g. ``warm_seconds`` to
   compare steady states) and may carry ``min_cpus``: a parallel-hardware
   requirement that is skipped, with a note, when the measuring machine's
-  recorded ``cpu_count`` is smaller;
+  recorded ``cpu_count`` is smaller.  ``requires_native`` floors (the
+  cjit-beats-jit gates) are likewise skipped, with a note, when the
+  fresh run's cjit entry reports it fell back to jit for lack of a C
+  compiler;
 * a **geomean floor** is violated — the baseline can require that one
   backend beat another by a factor *in geometric mean across every kernel
   they share* (e.g. warm ``jit`` at least 1.3x faster than ``vector``);
@@ -243,6 +246,14 @@ def check(bench: dict, baseline: dict, tolerance: float, min_seconds: float,
             continue
         fast_s = metric_value(fresh[fast_key], metric)
         slow_s = metric_value(fresh[slow_key], metric)
+        if (floor.get("requires_native")
+                and not fresh[fast_key].get("cjit", {}).get("native")):
+            notes.append(
+                f"floor needs the native tier but this run fell back to "
+                f"jit — no C compiler (skipped): {floor['fast']} vs "
+                f"{floor['slow']} on {floor['kernel']}"
+            )
+            continue
         if not fast_s or not slow_s:
             notes.append(f"floor pair lacks {metric!r} (skipped): "
                          f"{floor['kernel']} [{floor['shape']}]")

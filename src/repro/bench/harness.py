@@ -27,19 +27,20 @@ from .telemetry import machine_snapshot
 # mpjit backend forced onto sync="barrier", recorded under its own name so
 # the regression gate can hold point-to-point sync to the barrier baseline.
 SMOKE_CONFIGS = [
-    ("jacobi", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
-    ("ll18", 65, 4, ("interp", "vector", "mp", "jit", "mpjit")),
-    ("filter", 65, 4, ("interp", "vector", "jit", "mpjit")),
-    ("calc", 65, 4, ("interp", "vector", "jit", "mpjit")),
-    ("jacobi", 255, 4, ("interp", "vector", "jit", "mpjit", "mpjit-barrier")),
-    ("jacobi", 255, 1, ("vector", "jit")),
+    ("jacobi", 65, 4, ("interp", "vector", "mp", "jit", "mpjit", "cjit")),
+    ("ll18", 65, 4, ("interp", "vector", "mp", "jit", "mpjit", "cjit")),
+    ("filter", 65, 4, ("interp", "vector", "jit", "mpjit", "cjit")),
+    ("calc", 65, 4, ("interp", "vector", "jit", "mpjit", "cjit")),
+    ("jacobi", 255, 4, ("interp", "vector", "jit", "mpjit", "mpjit-barrier",
+                        "cjit")),
+    ("jacobi", 255, 1, ("vector", "jit", "cjit")),
 ]
 FULL_CONFIGS = [
     ("jacobi", 511, 4, ("interp", "vector", "mp", "jit", "mpjit",
-                        "mpjit-barrier")),
-    ("ll18", 511, 4, ("vector", "jit", "mpjit", "mpjit-barrier")),
-    ("calc", 513, 4, ("vector", "jit", "mpjit")),
-    ("filter", 512, 4, ("vector", "jit", "mpjit")),
+                        "mpjit-barrier", "cjit")),
+    ("ll18", 511, 4, ("vector", "jit", "mpjit", "mpjit-barrier", "cjit")),
+    ("calc", 513, 4, ("vector", "jit", "mpjit", "cjit")),
+    ("filter", 512, 4, ("vector", "jit", "mpjit", "cjit")),
 ]
 
 #: label → (real backend, forced options) for the pseudo-backends above.

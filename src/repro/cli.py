@@ -6,7 +6,7 @@ Usage::
     python -m repro transform FILE [--style stripmined|direct|spmd]
     python -m repro analyze FILE
     python -m repro simulate KERNEL [--machine ksr2|convex] [--procs ...]
-    python -m repro exec KERNEL [--backend interp|vector|mp|jit|mpjit]
+    python -m repro exec KERNEL [--backend interp|vector|mp|jit|mpjit|cjit]
                          [--n N] [--sync p2p|barrier] [--autotune]
     python -m repro bench [--smoke] [--repeats R] [--run-dir DIR] [--trend]
     python -m repro serve [--port P | --socket PATH] [--max-queue Q]
@@ -184,6 +184,14 @@ def cmd_exec(args: argparse.Namespace) -> int:
               f"{cache.get('disk_hits', 0)} disk hits, "
               f"{cache.get('misses', 0)} misses, "
               f"{cache.get('alias_hits', 0)} alias hits")
+    if "cjit" in record:
+        cjit = record["cjit"]
+        if cjit.get("native"):
+            print(f"  native tier: live "
+                  f"(compiler {cjit.get('compiler_fingerprint', '?')})")
+        else:
+            print(f"  native tier: fell back to jit — "
+                  f"{cjit.get('fallback_reason', 'unknown reason')}")
     if "pool_workers" in record:
         if record["pool_workers"]:
             print(f"  worker pool: {record['pool_workers']} workers "
@@ -432,8 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cross-check bit-identical against the interpreter "
                         "(the reported time then includes that check)")
     p.add_argument("--no-cache", action="store_true",
-                   help="bypass the jit plan cache (recompile from scratch, "
-                        "touch no cache files); no effect on other backends")
+                   help="bypass the jit/cjit plan cache (recompile from "
+                        "scratch, touch no cache files); no effect on other "
+                        "backends")
     p.add_argument("--max-workers", type=int, default=None,
                    help="cap the mp/mpjit worker count (default: the "
                         "machine's core count)")

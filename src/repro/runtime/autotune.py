@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import platform
+import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -72,11 +73,22 @@ class TunerStats:
 
 
 def machine_fingerprint() -> str:
-    """What makes a tuning result transferable: core count and ISA.
-    Two hosts sharing a fingerprint are assumed to prefer the same
-    configuration; anything finer (exact CPU model) would defeat cache
-    reuse across CI runners for little accuracy."""
-    return f"cpu{os.cpu_count() or 1}-{platform.machine() or 'unknown'}"
+    """What makes a tuning result transferable: core count and ISA, plus
+    everything that changes the *code being timed* — the Python
+    major.minor (numpy dispatch costs shift between interpreters), the
+    codegen version (new emitters produce different modules) and the C
+    compiler fingerprint (a toolchain change re-times the native tier,
+    and its presence/absence gates the ``cjit`` candidates).  Two hosts
+    sharing a fingerprint are assumed to prefer the same configuration;
+    anything finer (exact CPU model) would defeat cache reuse across CI
+    runners for little accuracy."""
+    from ..codegen.emitc import compiler_fingerprint
+    from ..codegen.emitpy import CODEGEN_VERSION
+
+    cc = compiler_fingerprint() or "none"
+    return (f"cpu{os.cpu_count() or 1}-{platform.machine() or 'unknown'}"
+            f"-py{sys.version_info[0]}.{sys.version_info[1]}"
+            f"-cg{CODEGEN_VERSION}-cc{cc}")
 
 
 def tuning_key(program, params: Mapping[str, int], procs: int) -> str:
@@ -93,21 +105,35 @@ def candidate_configs(procs: int,
                       cpu_count: Optional[int] = None) -> list[dict]:
     """The configurations worth timing for ``procs`` on this machine.
 
-    Serial compiled code (``jit``) is always a candidate; the pooled
+    Serial compiled code (``jit``) is always a candidate, and so is the
+    native tier (``cjit``) when a C compiler is present; the pooled
     parallel path (``mpjit``, point-to-point sync) joins only when both
     the plan and the machine have parallelism to exploit.  Worker counts:
     all cores, plus a half-cores option on big hosts (smaller pools can
-    win when memory bandwidth saturates first)."""
+    win when memory bandwidth saturates first) — deduplicated by the
+    *effective* pool size ``min(procs, workers)``, so a half-cores count
+    that resolves to the same pool as "all cores" is timed once, and
+    emitted sorted by that effective size with the full pool spelled
+    ``max_workers=None`` (stored winners stay portable across hosts)."""
     if cpu_count is None:
         cpu_count = os.cpu_count() or 1
     cands = [
         {"backend": "jit", "strip": strip} for strip in _STRIP_CANDIDATES
     ]
+    from ..codegen.emitc import find_compiler
+
+    if find_compiler() is not None:
+        cands.extend(
+            {"backend": "cjit", "strip": strip}
+            for strip in _STRIP_CANDIDATES
+        )
     if cpu_count >= 2 and procs >= 2:
-        workers: list[Optional[int]] = [None]  # all cores
+        full = min(procs, cpu_count)  # what max_workers=None resolves to
+        counts = {full}
         if cpu_count >= 4:
-            workers.append(max(2, cpu_count // 2))
-        for w in workers:
+            counts.add(min(procs, max(2, cpu_count // 2)))
+        for count in sorted(counts):
+            w: Optional[int] = None if count == full else count
             cands.append({"backend": "mpjit", "strip": None,
                           "max_workers": w, "sync": "p2p"})
     return cands

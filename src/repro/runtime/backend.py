@@ -23,6 +23,12 @@ examples and the benchmarks select an executor with a string:
   over shared memory (the paper's two-phase SPMD schedule, compiled),
   synchronizing point-to-point through the module's ``PEEL_DEPS`` map
   by default (``sync="barrier"`` restores the global barrier).
+* ``cjit`` — :func:`run_cjit`, the plan lowered to a C translation unit
+  (:mod:`repro.codegen.emitc`), compiled with the system C compiler into
+  a ``.so`` cached next to the ``.py`` source, and called through
+  ``ctypes`` — no numpy per-statement overhead at all.  When no
+  compiler is present or compilation fails it falls back to ``jit``
+  with a one-line note and a counter, never an error.
 
 ``Backend.run(..., verify=True)`` cross-checks any fast backend against
 the interpreter on the spot and raises :class:`BackendMismatch` unless the
@@ -160,6 +166,43 @@ def run_jit(
     return module.run(arrays)
 
 
+def run_cjit(
+    exec_plan: ExecutionPlan,
+    arrays: MutableMapping[str, np.ndarray],
+    strip: Optional[int] = None,
+    no_cache: bool = False,
+    cache=None,
+) -> dict:
+    """Execute ``exec_plan`` through generated-and-compiled C code.
+
+    Mirrors :func:`run_jit`: the first call for a plan structure emits,
+    compiles (``cc -O2 -shared -fPIC``) and caches a shared object keyed
+    by the plan signature plus the compiler fingerprint; later calls
+    dlopen/reuse it.  A missing compiler or a failed compilation falls
+    back to :func:`run_jit` — noted once, counted always
+    (:func:`repro.codegen.emitc.fallback_stats`), never an error."""
+    from ..codegen import emitc
+
+    module = None
+    reason = None
+    if no_cache:
+        try:
+            module = emitc.compile_plan_native(exec_plan, strip=strip)
+        except emitc.CJitError as exc:
+            reason = str(exc)
+    else:
+        if cache is None:
+            from .plancache import default_cache
+
+            cache = default_cache()
+        module, reason = cache.get_native(exec_plan, strip=strip)
+    if module is None:
+        emitc.note_fallback(reason or "native compilation unavailable")
+        return run_jit(exec_plan, arrays, strip=strip, no_cache=no_cache,
+                       cache=cache)
+    return module.run(arrays)
+
+
 register_backend(Backend(
     name="interp",
     description="per-iteration generator scheduler (semantic reference, "
@@ -191,4 +234,11 @@ register_backend(Backend(
                 "persistent worker pool over shared memory (fused phase, "
                 "point-to-point neighbor sync, peeled phase)",
     runner=run_mpjit,
+))
+register_backend(Backend(
+    name="cjit",
+    description="plan compiled to native C (cc -O2, signature+compiler-"
+                "fingerprint cached .so, ctypes entry points); falls back "
+                "to jit when no compiler is available",
+    runner=run_cjit,
 ))

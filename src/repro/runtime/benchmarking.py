@@ -48,8 +48,12 @@ class PreparedKernel:
 
     For the jit backend with a warm program alias, ``modules`` holds the
     compiled plan modules and ``plans`` stays empty — planning was skipped
-    entirely.  ``plan_seconds``/``compile_seconds`` record what preparation
-    actually cost so callers can report overhead honestly.
+    entirely.  For ``cjit``, ``native_modules`` holds the dlopen'd
+    :class:`~repro.codegen.emitc.CJitModule` per plan when the native tier
+    is live, and ``native_reason`` records why it is not (the run falls
+    back to the numpy ``modules``).  ``plan_seconds``/``compile_seconds``
+    record what preparation actually cost so callers can report overhead
+    honestly.
     """
 
     name: str
@@ -59,6 +63,8 @@ class PreparedKernel:
     procs: int
     seed: int
     modules: Optional[list] = None
+    native_modules: Optional[list] = None
+    native_reason: Optional[str] = None
     plan_seconds: float = 0.0
     compile_seconds: float = 0.0
     cache_stats: dict = field(default_factory=dict)
@@ -96,14 +102,18 @@ def prepare_kernel(
     compiled modules through the worker pool) with ``use_cache=True`` the
     plan cache is consulted first: a warm program alias (same kernel IR,
     params, procs and strip) yields the compiled modules without running
-    the analysis → derive → fuse → plan pipeline at all.
-    ``need_plans=True`` forces planning regardless (``verify`` needs the
-    plans for the interpreter oracle).
+    the analysis → derive → fuse → plan pipeline at all.  ``cjit`` rides
+    the same alias: when every aliased plan also has a cached ``.so`` the
+    native modules come back without planning or compiling anything;
+    a missing ``.so`` falls through to the planning path, which compiles
+    it (or records the fallback reason).  ``need_plans=True`` forces
+    planning regardless (``verify`` needs the plans for the interpreter
+    oracle).
     """
     info = get_kernel(kernel)
     program = info.program()
     run_params = resolve_params(info, program, params=params, n=n)
-    jit_cached = backend in ("jit", "mpjit") and use_cache
+    jit_cached = backend in ("jit", "mpjit", "cjit") and use_cache
     cache = default_cache() if jit_cached else None
     alias_key = None
     if jit_cached:
@@ -112,11 +122,19 @@ def prepare_kernel(
             before = cache.stats.snapshot()
             modules = cache.lookup_alias(alias_key)
             if modules is not None:
-                return PreparedKernel(
-                    name=kernel, program=program, params=run_params,
-                    plans=[], procs=procs, seed=seed, modules=modules,
-                    cache_stats=cache.stats.delta(before),
-                )
+                natives = None
+                if backend == "cjit":
+                    natives = [cache.peek_native(m.signature)
+                               for m in modules]
+                    if not all(natives):
+                        natives = None  # compile on the planning path
+                if backend != "cjit" or natives is not None:
+                    return PreparedKernel(
+                        name=kernel, program=program, params=run_params,
+                        plans=[], procs=procs, seed=seed, modules=modules,
+                        native_modules=natives,
+                        cache_stats=cache.stats.delta(before),
+                    )
     t0 = time.perf_counter()
     plans = []
     for seq in program.sequences:
@@ -127,17 +145,35 @@ def prepare_kernel(
         )
     plan_seconds = time.perf_counter() - t0
     modules = None
+    native_modules = None
+    native_reason = None
     compile_seconds = 0.0
     cache_stats: dict = {}
     if jit_cached:
         before = cache.stats.snapshot()
         modules = [cache.get(ep, strip=strip) for ep in plans]
         cache.link_alias(alias_key, [m.signature for m in modules])
+        if backend == "cjit":
+            native_modules = []
+            for ep in plans:
+                native, reason = cache.get_native(ep, strip=strip)
+                if native is None:
+                    native_modules = None
+                    native_reason = reason
+                    break
+                native_modules.append(native)
+            if native_modules is None:
+                from ..codegen import emitc
+
+                emitc.note_fallback(
+                    native_reason or "native compilation unavailable")
         cache_stats = cache.stats.delta(before)
-        compile_seconds = cache_stats.get("compile_seconds", 0.0)
+        compile_seconds = (cache_stats.get("compile_seconds", 0.0)
+                           + cache_stats.get("native_compile_seconds", 0.0))
     return PreparedKernel(
         name=kernel, program=program, params=run_params, plans=plans,
         procs=procs, seed=seed, modules=modules,
+        native_modules=native_modules, native_reason=native_reason,
         plan_seconds=plan_seconds, compile_seconds=compile_seconds,
         cache_stats=cache_stats,
     )
@@ -173,8 +209,11 @@ def execute_prepared(
 
             cache = default_cache()
             cache_root = str(cache.root) if cache.persist else None
+        run_modules = prep.modules
+        if backend == "cjit" and prep.native_modules is not None:
+            run_modules = prep.native_modules  # native tier; else jit fallback
         t0 = time.perf_counter()
-        for module in prep.modules:
+        for module in run_modules:
             if backend == "mpjit":
                 stats = run_mpjit_module(module, arrays,
                                          max_workers=max_workers,
@@ -188,7 +227,7 @@ def execute_prepared(
         return seconds, totals, checksum(arrays)
     be = get_backend(backend)
     options: dict = {}
-    if backend in ("jit", "mpjit") and no_cache:
+    if backend in ("jit", "mpjit", "cjit") and no_cache:
         options["no_cache"] = True
     if backend in ("mp", "mpjit") and max_workers is not None:
         options["max_workers"] = max_workers
@@ -452,8 +491,28 @@ def measure_kernel(
         record["autotune"] = tuner_info
     if retries > 0:
         record["recovery"] = dict(recovery_totals, budget=retries)
-    if backend in ("jit", "mpjit"):
+    if backend in ("jit", "mpjit", "cjit"):
         record["cache"] = dict(prep.cache_stats)
+    if backend == "cjit":
+        from ..codegen import emitc
+
+        if prep.native_modules is not None:
+            native, reason = True, None
+        elif use_cache:
+            native, reason = False, prep.native_reason
+        else:
+            # no-cache runs compile inline inside run_cjit; native status
+            # mirrors compiler presence, the run itself noted any failure
+            native = emitc.find_compiler() is not None
+            reason = None if native else \
+                "no C compiler found (set $REPRO_CC or install cc)"
+        entry: dict = {"native": native}
+        if reason:
+            entry["fallback_reason"] = reason
+        fp = emitc.compiler_fingerprint()
+        if fp:
+            entry["compiler_fingerprint"] = fp
+        record["cjit"] = entry
     if backend == "mpjit":
         stats = pool_stats()
         record["pool_workers"] = stats.get("nworkers", 0)

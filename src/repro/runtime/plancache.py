@@ -15,6 +15,11 @@ structure, amortize across invocations.  This module provides:
   a fresh process skips emission and only pays one ``compile()``.
   Entries embed their signature; corrupt or stale files are discarded and
   regenerated, never trusted;
+* a **native tier** for the ``cjit`` backend: the same signatures map to
+  compiled shared objects (``<signature>.<compiler-fp>.so`` plus the
+  generated ``<signature>.c``) living next to the ``.py`` sources, keyed
+  additionally by a compiler fingerprint so a toolchain change
+  recompiles instead of re-dlopening a foreign object;
 * **program aliases**: a second index keyed by the *program-level*
   signature (kernel IR + params + procs + strip, computable without
   planning) mapping to the per-sequence plan signatures.  A warm alias
@@ -60,6 +65,11 @@ class CacheStats:
     alias_misses: int = 0
     quarantined: int = 0
     compile_seconds: float = 0.0
+    native_memory_hits: int = 0
+    native_disk_hits: int = 0
+    native_misses: int = 0
+    native_quarantined: int = 0
+    native_compile_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -71,6 +81,11 @@ class CacheStats:
             "alias_misses": self.alias_misses,
             "quarantined": self.quarantined,
             "compile_seconds": round(self.compile_seconds, 6),
+            "native_memory_hits": self.native_memory_hits,
+            "native_disk_hits": self.native_disk_hits,
+            "native_misses": self.native_misses,
+            "native_quarantined": self.native_quarantined,
+            "native_compile_seconds": round(self.native_compile_seconds, 6),
         }
 
     def snapshot(self) -> "CacheStats":
@@ -106,6 +121,7 @@ class PlanCache:
     def __post_init__(self) -> None:
         self.root = Path(self.root) if self.root is not None else _default_root()
         self._memory: OrderedDict[str, object] = OrderedDict()
+        self._native: OrderedDict[str, object] = OrderedDict()
 
     # -- paths -------------------------------------------------------------
 
@@ -117,6 +133,20 @@ class PlanCache:
 
     def source_path(self, signature: str) -> Path:
         return self.version_dir / f"{signature}.py"
+
+    def c_source_path(self, signature: str) -> Path:
+        """The generated C translation unit (kept for post-mortem)."""
+        return self.version_dir / f"{signature}.c"
+
+    def native_path(self, signature: str, fingerprint: str) -> Path:
+        """The compiled shared object, keyed by plan signature *plus*
+        compiler fingerprint: a compiler change recompiles rather than
+        re-dlopening an object built by a different toolchain."""
+        return self.version_dir / f"{signature}.{fingerprint}.so"
+
+    def _native_candidates(self, signature: str) -> list[Path]:
+        """Every ``.so`` on disk for ``signature`` (any compiler)."""
+        return sorted(self.version_dir.glob(f"{signature}.*.so"))
 
     def alias_path(self, key: str) -> Path:
         return self.version_dir / "aliases" / f"{key}.json"
@@ -137,6 +167,39 @@ class PlanCache:
             self._memory.popitem(last=False)
             self.stats.evictions += 1
 
+    @staticmethod
+    def _quarantine_file(path: Path, keep_suffix: bool = False) -> None:
+        """Rename ``path`` out of trust: ``<entry>.bad`` for ``.py``
+        sources (the established convention), suffix-appending
+        (``….so.bad``/``….c.bad``) for native siblings so the names can
+        never collide with the source's quarantine."""
+        bad = (path.with_suffix(path.suffix + ".bad") if keep_suffix
+               else path.with_suffix(".bad"))
+        try:
+            os.replace(path, bad)
+        except OSError:
+            try:  # quarantine failed: drop the entry outright
+                path.unlink()
+            except OSError:
+                pass
+
+    def _quarantine_native(self, signature: str) -> None:
+        """Quarantine every native sibling of ``signature``.
+
+        Called when the ``.py`` source for a signature turns out corrupt
+        or stale: whatever produced that state (truncated write, chaos
+        fault, bit rot) cannot be assumed to have spared the compiled
+        objects, and a corrupt shared library must never be re-dlopened
+        — ``dlopen`` happily maps garbage that only fails (or crashes)
+        at call time."""
+        self._native.pop(signature, None)
+        for path in self._native_candidates(signature):
+            self.stats.native_quarantined += 1
+            self._quarantine_file(path, keep_suffix=True)
+        c_path = self.c_source_path(signature)
+        if c_path.exists():
+            self._quarantine_file(c_path, keep_suffix=True)
+
     def _load_disk(self, signature: str):
         """Load one on-disk entry; corrupt/stale files are quarantined.
 
@@ -144,8 +207,9 @@ class PlanCache:
         chaos ``cache_corrupt`` fault) is renamed to ``<entry>.bad`` —
         kept for post-mortem, never trusted again — and reported as a
         miss, so the caller recompiles from the plan instead of raising
-        on a warm load.  The next :meth:`get` overwrites the ``.py``
-        entry with a fresh one."""
+        on a warm load.  Its native siblings (``.so``/``.c``) are
+        quarantined with it.  The next :meth:`get` overwrites the
+        ``.py`` entry with a fresh one."""
         from ..codegen.emitpy import JitCompileError, compile_source
 
         if not self.persist:
@@ -159,13 +223,8 @@ class PlanCache:
             return compile_source(source, expected_signature=signature)
         except JitCompileError:
             self.stats.quarantined += 1
-            try:
-                os.replace(path, path.with_suffix(".bad"))
-            except OSError:
-                try:  # quarantine failed: drop the entry outright
-                    path.unlink()
-                except OSError:
-                    pass
+            self._quarantine_file(path)
+            self._quarantine_native(signature)
             return None
 
     def _store_disk(self, module) -> None:
@@ -211,6 +270,94 @@ class PlanCache:
         self._remember(module)
         return module
 
+    # -- the native (cjit) tier --------------------------------------------
+
+    def _remember_native(self, module) -> None:
+        self._native[module.signature] = module
+        self._native.move_to_end(module.signature)
+        while len(self._native) > self.memory_slots:
+            self._native.popitem(last=False)
+            self.stats.evictions += 1
+
+    def peek_native(self, signature: str,
+                    fingerprint: Optional[str] = None):
+        """Memory → disk ``.so`` lookup without compiling anything.
+
+        With ``fingerprint`` only the exactly-keyed object is considered
+        (the compiling caller's view: a compiler change is a miss);
+        without it any valid object for the signature is accepted (the
+        pool worker's view: workers only execute, and every object for a
+        signature is bit-identical by construction).  Corrupt or stale
+        objects are quarantined, never re-dlopened.
+        """
+        module = self._native.get(signature)
+        if module is not None:
+            self._native.move_to_end(signature)
+            self.stats.native_memory_hits += 1
+            return module
+        if not self.persist:
+            return None
+        from ..codegen.emitc import CJitCompileError, load_native
+
+        if fingerprint is not None:
+            candidates = [self.native_path(signature, fingerprint)]
+        else:
+            candidates = self._native_candidates(signature)
+        for path in candidates:
+            if not path.exists():
+                continue
+            try:
+                module = load_native(path, expected_signature=signature)
+            except CJitCompileError:
+                self.stats.native_quarantined += 1
+                self._quarantine_file(path, keep_suffix=True)
+                continue
+            self.stats.native_disk_hits += 1
+            self._remember_native(module)
+            return module
+        return None
+
+    def get_native(self, exec_plan: ExecutionPlan,
+                   strip: Optional[int] = None):
+        """Cached native module for ``exec_plan``, compiling on a miss.
+
+        Returns ``(module, reason)``: ``(CJitModule, None)`` on success,
+        ``(None, why)`` when there is no compiler or compilation failed —
+        the ``cjit`` backend turns the latter into a counted fallback to
+        ``jit``, never an error.
+        """
+        from ..codegen import emitc
+
+        compiler = emitc.find_compiler()
+        if compiler is None:
+            return None, "no C compiler found (set $REPRO_CC or install cc)"
+        fingerprint = emitc.compiler_fingerprint(compiler)
+        signature = exec_plan.signature(strip=strip)
+        module = self.peek_native(signature, fingerprint=fingerprint)
+        if module is not None:
+            return module, None
+        self.stats.native_misses += 1
+        t0 = time.perf_counter()
+        try:
+            if not self.persist:
+                module = emitc.compile_plan_native(exec_plan, strip=strip,
+                                                   compiler=compiler)
+            else:
+                source = emitc.emit_plan_c_source(exec_plan, strip=strip)
+                so_path = self.native_path(signature, fingerprint)
+                emitc.compile_c(source, so_path, compiler=compiler,
+                                c_path=self.c_source_path(signature))
+                module = emitc.load_native(so_path,
+                                           expected_signature=signature,
+                                           source=source)
+        except emitc.CJitError as exc:
+            return None, str(exc)
+        except OSError as exc:  # read-only cache directory and kin
+            return None, f"native cache unwritable: {exc}"
+        self.stats.native_compile_seconds += time.perf_counter() - t0
+        self._remember_native(module)
+        return module, None
+
     # -- program aliases ---------------------------------------------------
 
     def lookup_alias(self, key: str):
@@ -243,6 +390,7 @@ class PlanCache:
 
     def clear_memory(self) -> None:
         self._memory.clear()
+        self._native.clear()
 
 
 def program_signature(program, params: Mapping[str, int], procs: int,

@@ -124,9 +124,12 @@ def _load_module(modules: dict, signature: str, cache_root: Optional[str],
     """Resolve a compiled module inside a worker.
 
     Memory first (warm worker: nothing to do), then the on-disk plan
-    cache by signature (cold worker: one ``compile()``, no emission),
-    then the inline source shipped with the task (non-persistent cache).
-    Returns ``(module, 'memory'|'disk'|'inline')``.
+    cache by signature — a compiled native ``.so`` before the ``.py``
+    source (one ``dlopen`` beats one ``compile()``, and every object
+    for a signature is bit-identical by construction; workers never
+    *compile* C, they only load what the parent cached) — then the
+    inline source shipped with the task (non-persistent cache).
+    Returns ``(module, 'memory'|'native'|'disk'|'inline')``.
     """
     module = modules.get(signature)
     if module is not None:
@@ -135,9 +138,14 @@ def _load_module(modules: dict, signature: str, cache_root: Optional[str],
     if cache_root:
         from .plancache import PlanCache
 
-        module = PlanCache(root=cache_root).peek(signature)
+        cache = PlanCache(root=cache_root)
+        module = cache.peek_native(signature)
         if module is not None:
-            mode = "disk"
+            mode = "native"
+        else:
+            module = cache.peek(signature)
+            if module is not None:
+                mode = "disk"
     if module is None:
         from ..codegen.emitpy import compile_source
 

@@ -139,6 +139,7 @@ DEGRADE_LADDER = {
     "mpjit": ("mpjit", "jit", "vector"),
     "mp": ("mp", "vector"),
     "jit": ("jit", "vector"),
+    "cjit": ("cjit", "jit", "vector"),
 }
 
 

@@ -55,18 +55,56 @@ class TestKeying:
 
         assert f"cpu{os.cpu_count() or 1}" in machine_fingerprint()
 
+    def test_fingerprint_covers_python_codegen_and_compiler(self):
+        """A toolchain change (interpreter, codegen version, C compiler)
+        must invalidate stored winners — all three live in the key."""
+        import sys
+
+        from repro.codegen.emitc import compiler_fingerprint
+        from repro.codegen.emitpy import CODEGEN_VERSION
+
+        fp = machine_fingerprint()
+        assert f"py{sys.version_info[0]}.{sys.version_info[1]}" in fp
+        assert f"cg{CODEGEN_VERSION}" in fp
+        cc = compiler_fingerprint() or "none"
+        assert f"cc{cc}" in fp
+
 
 class TestCandidates:
     def test_serial_always_parallel_gated_on_cores(self):
         single = candidate_configs(procs=4, cpu_count=1)
-        assert single and all(c["backend"] == "jit" for c in single)
-        multi = candidate_configs(procs=4, cpu_count=8)
+        assert single and all(c["backend"] in ("jit", "cjit")
+                              for c in single)
+        multi = candidate_configs(procs=16, cpu_count=8)
         mpjit = [c for c in multi if c["backend"] == "mpjit"]
         assert mpjit and all(c["sync"] == "p2p" for c in mpjit)
         assert {c.get("max_workers") for c in mpjit} == {None, 4}
         # a serial plan never gets a parallel candidate
-        assert all(c["backend"] == "jit"
+        assert all(c["backend"] in ("jit", "cjit")
                    for c in candidate_configs(procs=1, cpu_count=8))
+
+    def test_worker_counts_deduped_by_effective_pool_size(self):
+        """On cpu_count=8 with procs=4 the half-cores option resolves to
+        the same effective pool as all-cores (min(4, 8) == max(2, 4)) —
+        it must be timed once, spelled ``max_workers=None``."""
+        mpjit = [c for c in candidate_configs(procs=4, cpu_count=8)
+                 if c["backend"] == "mpjit"]
+        assert [c["max_workers"] for c in mpjit] == [None]
+        # distinct counts emitted sorted by effective size, ints first
+        mpjit = [c for c in candidate_configs(procs=16, cpu_count=8)
+                 if c["backend"] == "mpjit"]
+        assert [c["max_workers"] for c in mpjit] == [4, None]
+
+    def test_cjit_candidates_gated_on_compiler(self, monkeypatch):
+        import repro.codegen.emitc as emitc
+
+        if emitc.find_compiler() is not None:
+            cjit = [c for c in candidate_configs(procs=4, cpu_count=8)
+                    if c["backend"] == "cjit"]
+            assert cjit and {c.get("strip") for c in cjit} == {None, 32}
+        monkeypatch.setenv(emitc.ENV_CC, "/nonexistent/compiler")
+        assert all(c["backend"] != "cjit"
+                   for c in candidate_configs(procs=4, cpu_count=8))
 
 
 class TestResolveConfig:
@@ -76,7 +114,7 @@ class TestResolveConfig:
                                       tuner=tuner)
         assert info["hit"] is False
         assert info["candidates_timed"] >= 2
-        assert config["backend"] in ("jit", "mpjit")
+        assert config["backend"] in ("jit", "cjit", "mpjit")
         assert tuner.stats.misses == 1 and tuner.stats.stores == 1
         # Second resolution: pure lookup, nothing timed.
         config2, info2 = resolve_config("jacobi", n=21, procs=4, repeat=1,

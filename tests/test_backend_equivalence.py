@@ -1,8 +1,9 @@
 """Differential tests: fast backends must be bit-identical to the interpreter.
 
 Sweeps every registered kernel (and every sequence of the applications)
-through the ``vector``, ``jit`` and ``mpjit`` backends — strip-mined and
-whole-box — and spot-checks the ``mp`` backend, comparing arrays *bitwise*
+through the ``vector``, ``jit``, ``mpjit`` and ``cjit`` backends —
+strip-mined and whole-box — and spot-checks the ``mp`` backend, comparing
+arrays *bitwise*
 (``np.array_equal``, not allclose) against the ``interp`` reference, on odd
 shapes including empty and single-iteration ranges.  The mp/mpjit sweeps
 additionally run under both sync modes (point-to-point and barrier) —
@@ -96,9 +97,11 @@ class TestAllKernelsAllBackends:
         base, plans = _setup(kernel, n, procs)
         ref = copy_arrays(base)
         ref_counts = _run_backend(plans, ref, "interp")
-        for backend in ("vector", "jit", "mpjit"):
+        for backend in ("vector", "jit", "mpjit", "cjit"):
             # mpjit: force two pooled workers so the parallel compiled
-            # path runs even where os.cpu_count() == 1.
+            # path runs even where os.cpu_count() == 1.  cjit needs no
+            # gate: without a C compiler it falls back to jit, which this
+            # sweep already holds to the interpreter.
             extra = {"max_workers": 2} if backend == "mpjit" else {}
             for strip in (None, 3):
                 got = copy_arrays(base)
@@ -203,7 +206,8 @@ class TestDegenerateRanges:
         ref = copy_arrays(base)
         ref_counts = run_parallel(ep, ref)
         for backend, kw in (("vector", {}), ("vector", {"strip": 2}),
-                            ("jit", {}), ("jit", {"strip": 2})):
+                            ("jit", {}), ("jit", {"strip": 2}),
+                            ("cjit", {}), ("cjit", {"strip": 2})):
             got = copy_arrays(base)
             counts = get_backend(backend).run(ep, got, **kw)
             _assert_identical(ref, got, (backend, n))
@@ -223,7 +227,8 @@ class TestDegenerateRanges:
         ref = copy_arrays(base)
         ref_counts = run_parallel(ep, ref)
         for backend, kw in (("vector", {}), ("vector", {"strip": 2}),
-                            ("jit", {}), ("jit", {"strip": 2})):
+                            ("jit", {}), ("jit", {"strip": 2}),
+                            ("cjit", {}), ("cjit", {"strip": 2})):
             got = copy_arrays(base)
             counts = get_backend(backend).run(ep, got, **kw)
             _assert_identical(ref, got, (backend, fused_range))
@@ -339,7 +344,7 @@ class TestExecBoxAccessPatterns:
 class TestBackendRegistry:
     def test_available(self):
         names = available_backends()
-        for expected in ("interp", "vector", "mp", "jit", "mpjit"):
+        for expected in ("interp", "vector", "mp", "jit", "mpjit", "cjit"):
             assert expected in names
 
     def test_unknown_backend(self):
@@ -364,7 +369,7 @@ class TestBackendRegistry:
         with pytest.raises(BackendMismatch):
             get_backend(name).run(ep, arrays, verify=True)
 
-    @pytest.mark.parametrize("backend", ["vector", "jit"])
+    @pytest.mark.parametrize("backend", ["vector", "jit", "cjit"])
     def test_verify_passes_for_fast_backends(self, backend):
         seq = _seq_1d()
         plan = derive_shift_peel(seq, ("n",))

@@ -1,0 +1,301 @@
+"""The native tier: C emission, the ``.so`` cache, fallback, quarantine.
+
+Bit-identity of the compiled C against the interpreter is the
+equivalence suite's job (``test_backend_equivalence.py`` sweeps ``cjit``
+with every other backend); this file covers what is *specific* to the
+native tier — the compiler discovery and fingerprinting, the
+signature+fingerprint ``.so`` cache levels, the pool worker's
+native-before-source resolution, the jit fallback when no compiler
+exists (checksums must not move, the counter must), and the quarantine
+coupling: a corrupt ``.py`` source takes its ``.so``/``.c`` siblings
+with it, and a corrupt ``.so`` is never re-dlopened.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import copy_arrays
+
+from repro.codegen import emitc
+from repro.core import build_execution_plan, derive_shift_peel
+from repro.ir import Affine, Loop, LoopNest, LoopSequence, assign, load
+from repro.runtime.backend import checksum, get_backend
+from repro.runtime.plancache import PlanCache, default_cache
+
+HAVE_CC = emitc.find_compiler() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler on PATH")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fallback_counters():
+    emitc.reset_fallback_stats()
+    yield
+    emitc.reset_fallback_stats()
+
+
+def _chain(scale=2.0):
+    i = Affine.var("i")
+    n = Affine.var("n")
+    return LoopSequence(
+        (
+            LoopNest((Loop.make("i", 2, n - 1),),
+                     (assign("a", i, load("b", i) * scale),), name="L1"),
+            LoopNest((Loop.make("i", 2, n - 1),),
+                     (assign("c", i, load("a", i + 1) + load("a", i - 1)),),
+                     name="L2"),
+        ),
+        name="chain",
+    )
+
+
+def _plan(procs=2, n=17, scale=2.0):
+    plan = derive_shift_peel(_chain(scale), ("n",))
+    return build_execution_plan(plan, {"n": n}, num_procs=procs)
+
+
+def _arrays(size=18, seed=0):
+    rng = np.random.default_rng(seed)
+    return {name: rng.random(size) + 0.5 for name in "abc"}
+
+
+class TestCompilerDiscovery:
+    def test_env_var_pins_and_disables(self, monkeypatch):
+        monkeypatch.setenv(emitc.ENV_CC, "/nonexistent/compiler")
+        assert emitc.find_compiler() is None
+        assert emitc.compiler_fingerprint() is None
+
+    @needs_cc
+    def test_fingerprint_stable_and_flag_sensitive(self):
+        fp = emitc.compiler_fingerprint()
+        assert fp and fp == emitc.compiler_fingerprint()
+        assert len(fp) == 12 and all(c in "0123456789abcdef" for c in fp)
+
+
+@needs_cc
+class TestNativeModule:
+    def test_source_exports_module_metadata(self):
+        ep = _plan()
+        source = emitc.emit_plan_c_source(ep)
+        for symbol in ("REPRO_SIGNATURE", "REPRO_CODEGEN_VERSION",
+                       "REPRO_NPROCS", "REPRO_PEEL_DEPS",
+                       "run_fused", "run_peeled"):
+            assert symbol in source
+        assert ep.signature() in source
+
+    def test_compiled_module_matches_jit_bitwise(self):
+        ep = _plan()
+        native = emitc.compile_plan_native(ep)
+        jit = default_cache().get(ep)
+        assert native.nprocs == jit.nprocs
+        assert native.peel_deps == jit.peel_deps
+        base = _arrays()
+        got, ref = copy_arrays(base), copy_arrays(base)
+        stats = native.run(got)
+        ref_stats = jit.run(ref)
+        assert stats == ref_stats
+        assert checksum(got) == checksum(ref)
+
+    def test_out_of_range_proc_rejected(self):
+        native = emitc.compile_plan_native(_plan())
+        with pytest.raises(emitc.CJitError, match="run_fused"):
+            native.run_fused(native.nprocs + 3, _arrays())
+
+
+@needs_cc
+class TestNativeCacheLevels:
+    def test_miss_then_memory_then_disk_hit(self):
+        cache = default_cache()
+        ep = _plan()
+        module, reason = cache.get_native(ep)
+        assert module is not None and reason is None
+        assert cache.stats.native_misses == 1
+        assert cache.stats.native_compile_seconds > 0
+        fp = emitc.compiler_fingerprint()
+        assert cache.native_path(module.signature, fp).exists()
+        assert cache.c_source_path(module.signature).exists()
+        again, _ = cache.get_native(ep)
+        assert again is module
+        assert cache.stats.native_memory_hits == 1
+        # a fresh instance (a fresh process, in effect) dlopens the .so
+        fresh = PlanCache(root=cache.root)
+        loaded, reason = fresh.get_native(ep)
+        assert loaded is not None and reason is None
+        assert fresh.stats.native_disk_hits == 1
+        assert fresh.stats.native_misses == 0
+        base = _arrays()
+        a, b = copy_arrays(base), copy_arrays(base)
+        loaded.run(a)
+        module.run(b)
+        assert checksum(a) == checksum(b)
+
+    def test_corrupt_so_quarantined_never_redlopened(self):
+        """The .so is built with :func:`emitc.compile_c` directly — not
+        through ``get_native`` — so this process never dlopens the intact
+        object (glibc dedupes dlopen by pathname, which would mask the
+        corruption with the stale-but-valid mapping)."""
+        cache = default_cache()
+        ep = _plan()
+        sig = ep.signature()
+        fp = emitc.compiler_fingerprint()
+        so = cache.native_path(sig, fp)
+        so.parent.mkdir(parents=True, exist_ok=True)
+        emitc.compile_c(emitc.emit_plan_c_source(ep), so)
+        so.write_bytes(b"this is not an ELF shared object")
+        fresh = PlanCache(root=cache.root)
+        assert fresh.peek_native(sig) is None
+        assert fresh.stats.native_quarantined == 1
+        bad = so.parent / (so.name + ".bad")
+        assert bad.exists() and not so.exists()
+        # the next get_native recompiles instead of trusting the corpse
+        recompiled, reason = fresh.get_native(ep)
+        assert recompiled is not None and reason is None
+        assert fresh.stats.native_misses == 1
+
+    def test_py_quarantine_takes_native_siblings(self):
+        """Satellite: a corrupt ``.py`` source quarantines its ``.so``
+        and ``.c`` siblings too — whatever corrupted the source cannot
+        be assumed to have spared the objects next to it."""
+        cache = default_cache()
+        ep = _plan()
+        module, _ = cache.get_native(ep)
+        sig = module.signature
+        fp = emitc.compiler_fingerprint()
+        cache.source_path(sig).write_text("def broken(", encoding="utf-8")
+        fresh = PlanCache(root=cache.root)
+        assert fresh.peek(sig) is None
+        assert fresh.stats.quarantined == 1
+        assert fresh.stats.native_quarantined >= 1
+        assert not cache.source_path(sig).exists()
+        assert not cache.native_path(sig, fp).exists()
+        assert not cache.c_source_path(sig).exists()
+        so = cache.native_path(sig, fp)
+        assert (so.parent / (so.name + ".bad")).exists()
+        assert cache.source_path(sig).with_suffix(".bad").exists()
+        # and the quarantined .so is invisible to later native lookups
+        assert fresh.peek_native(sig) is None
+
+    def test_pool_worker_resolves_native_before_source(self):
+        from repro.runtime.pool import _load_module
+
+        cache = default_cache()
+        ep = _plan()
+        module, _ = cache.get_native(ep)
+        jit = cache.get(ep)  # .py source also on disk
+        loaded, mode = _load_module({}, jit.signature, str(cache.root),
+                                    jit.source)
+        assert mode == "native"
+        assert loaded.kind == "cjit"
+        base = _arrays()
+        a, b = copy_arrays(base), copy_arrays(base)
+        loaded.run(a)
+        jit.run(b)
+        assert checksum(a) == checksum(b)
+
+
+class TestFallback:
+    def test_no_compiler_backend_falls_back_bit_identical(self, monkeypatch):
+        """The headline no-compiler contract: same bits as jit, one note,
+        a counted fallback — never an exception."""
+        monkeypatch.setenv(emitc.ENV_CC, "/nonexistent/compiler")
+        ep = _plan()
+        base = _arrays()
+        got, ref = copy_arrays(base), copy_arrays(base)
+        counts = get_backend("cjit").run(ep, got)
+        ref_counts = get_backend("jit").run(ep, ref)
+        assert counts == ref_counts
+        assert checksum(got) == checksum(ref)
+        stats = emitc.fallback_stats()
+        assert stats["count"] == 1
+        assert "no C compiler" in stats["last_reason"]
+
+    def test_fallback_note_printed_once_counted_always(self, monkeypatch,
+                                                       capsys):
+        monkeypatch.setenv(emitc.ENV_CC, "/nonexistent/compiler")
+        ep = _plan()
+        for _ in range(3):
+            get_backend("cjit").run(ep, _arrays())
+        err = capsys.readouterr().err
+        assert err.count("cjit: falling back to jit") == 1
+        assert emitc.fallback_stats()["count"] == 3
+
+    def test_no_cache_path_falls_back_too(self, monkeypatch):
+        monkeypatch.setenv(emitc.ENV_CC, "/nonexistent/compiler")
+        ep = _plan()
+        base = _arrays()
+        got, ref = copy_arrays(base), copy_arrays(base)
+        get_backend("cjit").run(ep, got, no_cache=True)
+        get_backend("jit").run(ep, ref, no_cache=True)
+        assert checksum(got) == checksum(ref)
+        assert emitc.fallback_stats()["count"] == 1
+
+
+class TestBenchIntegration:
+    def test_measure_kernel_records_native_tier(self):
+        from repro.runtime.benchmarking import measure_kernel
+
+        record = measure_kernel("jacobi", "cjit", n=21, procs=2, repeat=2)
+        ref = measure_kernel("jacobi", "jit", n=21, procs=2, repeat=2)
+        assert record["checksum"] == ref["checksum"]
+        assert record["cjit"]["native"] is HAVE_CC
+        assert "cache" in record
+        if HAVE_CC:
+            assert record["cjit"]["compiler_fingerprint"] \
+                == emitc.compiler_fingerprint()
+            assert record["cache"]["native_misses"] >= 1
+        else:
+            assert record["cjit"]["fallback_reason"]
+
+    def test_measure_kernel_no_compiler_identical_checksum(self, monkeypatch):
+        from repro.runtime.benchmarking import measure_kernel
+
+        ref = measure_kernel("jacobi", "jit", n=21, procs=2, repeat=2)
+        monkeypatch.setenv(emitc.ENV_CC, "/nonexistent/compiler")
+        record = measure_kernel("jacobi", "cjit", n=21, procs=2, repeat=2)
+        assert record["checksum"] == ref["checksum"]
+        assert record["cjit"]["native"] is False
+        assert "no C compiler" in record["cjit"]["fallback_reason"]
+        assert emitc.fallback_stats()["count"] >= 1
+
+    @needs_cc
+    def test_warm_alias_reuses_cached_so(self):
+        """Second prepare in the same cache: program alias plus cached
+        ``.so`` — no planning, no compiling, native modules live."""
+        from repro.runtime.benchmarking import (
+            execute_prepared,
+            prepare_kernel,
+        )
+
+        prepare_kernel("jacobi", n=21, procs=2, backend="cjit")
+        prep = prepare_kernel("jacobi", n=21, procs=2, backend="cjit")
+        assert prep.plans == [] and prep.native_modules
+        assert prep.cache_stats.get("native_misses", 0) == 0
+        _, counters, digest = execute_prepared(prep, "cjit")
+        ref = prepare_kernel("jacobi", n=21, procs=2, backend="jit")
+        _, ref_counters, ref_digest = execute_prepared(ref, "jit")
+        assert digest == ref_digest and counters == ref_counters
+
+
+class TestCliNarration:
+    def test_exec_reports_native_tier(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(["exec", "jacobi", "--backend", "cjit", "--n", "21",
+                       "--repeat", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "native tier:" in out
+        if HAVE_CC:
+            assert "native tier: live" in out
+        else:
+            assert "fell back to jit" in out
+
+    def test_exec_no_compiler_notes_fallback(self, monkeypatch, capsys):
+        from repro.cli import main as cli_main
+
+        monkeypatch.setenv(emitc.ENV_CC, "/nonexistent/compiler")
+        rc = cli_main(["exec", "jacobi", "--backend", "cjit", "--n", "21",
+                       "--repeat", "1"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "native tier: fell back to jit" in captured.out
+        assert "no C compiler" in captured.out
